@@ -1,0 +1,103 @@
+// Reproduces the headline crossover claims of Section 4 (C1 and C4 in
+// DESIGN.md):
+//
+//  * "we demonstrate a speed-up through parallelization for a problem
+//     size as small as 2^8, which fits completely into L1 cache and runs
+//     at less than 10,000 cycles. In contrast, FFTW only takes advantage
+//     of the second processor for sizes larger than 2^13, running at more
+//     than 500,000 cycles."
+//  * "FFTW starts using all 4 processors at N = 2^20 compared to N = 2^9
+//     for Spiral" (Opteron).
+//
+// For every machine this bench prints, per library, the smallest size at
+// which the parallel configuration beats sequential, and the cycle count
+// at that size.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+using namespace spiral;
+using namespace spiral::bench;
+
+namespace {
+
+void crossover_for_machine(const MachineConfig& cfg, int threads, int kmin,
+                           int kmax) {
+  idx_t spiral_x = 0, fftw_x = 0;
+  double spiral_cycles = 0, fftw_cycles = 0;
+  for (int k = kmin; k <= kmax && spiral_x == 0; ++k) {
+    const idx_t n = idx_t{1} << k;
+    auto plan = spiral_par_plan(n, threads, cfg.mu());
+    if (!plan) continue;
+    SimOptions opt;
+    opt.threads = threads;
+    const auto par = machine::simulate(*plan, cfg, opt);
+    const auto seq = sim_spiral_seq(n, cfg);
+    if (par.cycles < seq.cycles) {
+      spiral_x = n;
+      spiral_cycles = par.cycles;
+    }
+  }
+  for (int k = kmin; k <= kmax && fftw_x == 0; ++k) {
+    const idx_t n = idx_t{1} << k;
+    baselines::FftwLikeOptions fo;
+    fo.threads = threads;
+    fo.min_parallel_n = 2;
+    SimOptions opt;
+    opt.threads = threads;
+    opt.thread_pool = false;
+    const auto par =
+        machine::simulate(baselines::fftw_like_plan(n, fo), cfg, opt);
+    const auto seq = sim_fftw_seq(n, cfg);
+    if (par.cycles < seq.cycles) {
+      fftw_x = n;
+      fftw_cycles = par.cycles;
+    }
+  }
+  auto log2_or_none = [](idx_t n) {
+    return n == 0 ? -1 : util::log2_floor(n);
+  };
+  std::printf("%s,%d,spiral,%d,%.0f\n", cfg.name.c_str(), threads,
+              log2_or_none(spiral_x), spiral_cycles);
+  std::printf("%s,%d,fftw-like,%d,%.0f\n", cfg.name.c_str(), threads,
+              log2_or_none(fftw_x), fftw_cycles);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const int kmin = static_cast<int>(args.get_int("kmin", 6));
+  const int kmax = static_cast<int>(args.get_int("kmax", 21));
+
+  std::printf("# Parallelization crossover (claims C1/C4)\n");
+  std::printf(
+      "# smallest log2(n) where parallel beats sequential; -1 = never\n");
+  std::printf("machine,threads,library,crossover_log2n,cycles_at_crossover\n");
+  for (const auto& cfg : machine::all_machines()) {
+    for (int threads = 2; threads <= cfg.cores; threads *= 2) {
+      crossover_for_machine(cfg, threads, kmin, kmax);
+    }
+  }
+
+  // The explicit paper numbers, on the Core Duo:
+  const auto cd = machine::core_duo();
+  const idx_t n8 = 1 << 8;
+  auto plan = spiral_par_plan(n8, 2, cd.mu());
+  if (plan) {
+    SimOptions opt;
+    opt.threads = 2;
+    const auto par = machine::simulate(*plan, cd, opt);
+    const auto seq = sim_spiral_seq(n8, cd);
+    std::printf("\n# Core Duo at N=2^8: spiral-parallel %.0f cycles vs "
+                "sequential %.0f cycles (paper: <10,000 cycles, speedup)\n",
+                par.cycles, seq.cycles);
+  }
+  const idx_t n13 = 1 << 13;
+  const auto seq13 = sim_fftw_seq(n13, cd);
+  std::printf("# Core Duo FFTW-like sequential at N=2^13: %.0f cycles "
+              "(paper: FFTW parallel pays off only above ~500,000 cycles)\n",
+              seq13.cycles);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Reproduces Figure 3 (a)-(d): pseudo Mflop/s (5 N log2 N / runtime[us])
+// for DFT_N, N = 2^6 .. 2^20, on the four simulated machines, for the
+// five series of the paper's plots. Higher is better.
+//
+// Usage:
+//   bench_fig3 [--machine=coreduo|opteron|pentiumd|xeonmp|all]
+//              [--kmin=6] [--kmax=20] [--real]
+//
+// Default prints all four machines (one CSV block per machine):
+//   machine,series,log2n,n,pseudo_mflops
+//
+// --real additionally measures wall-clock performance of the actual
+// threaded executor on the host CPU (NOT the paper's machines; on a
+// single-core host threading cannot win — the simulated series are the
+// figure reproduction, per DESIGN.md).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/spiral_fft.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace spiral;
+using namespace spiral::bench;
+
+void run_simulated(const MachineConfig& cfg, int kmin, int kmax) {
+  std::printf("# %s: %s\n", cfg.name.c_str(), cfg.description.c_str());
+  std::printf("machine,series,log2n,n,pseudo_mflops\n");
+  struct Series {
+    const char* name;
+    double value;
+  };
+  for (int k = kmin; k <= kmax; ++k) {
+    const idx_t n = idx_t{1} << k;
+    const double seq = sim_spiral_seq(n, cfg).pseudo_mflops;
+    const double pth = sim_spiral_parallel(n, cfg, 1.0).pseudo_mflops;
+    const double omp = sim_spiral_parallel(n, cfg, 4.0).pseudo_mflops;
+    const double fseq = sim_fftw_seq(n, cfg).pseudo_mflops;
+    const double fpth = sim_fftw_parallel(n, cfg).pseudo_mflops;
+    const Series series[] = {
+        {"spiral-pthreads", pth}, {"spiral-openmp", omp},
+        {"spiral-seq", seq},      {"fftw-pthreads", fpth},
+        {"fftw-seq", fseq},
+    };
+    for (const auto& s : series) {
+      std::printf("%s,%s,%d,%lld,%.1f\n", cfg.name.c_str(), s.name, k,
+                  static_cast<long long>(n), s.value);
+    }
+  }
+  std::printf("\n");
+}
+
+void run_real(int kmin, int kmax, int threads) {
+  std::printf("# real wall-clock on this host (threads=%d)\n", threads);
+  std::printf("machine,series,log2n,n,pseudo_mflops\n");
+  for (int k = kmin; k <= kmax; ++k) {
+    const idx_t n = idx_t{1} << k;
+    util::Rng rng(n);
+    const auto x = rng.complex_signal(n);
+    util::cvec y(x.size());
+
+    core::PlannerOptions seq_opt;
+    auto seq_plan = core::plan_dft(n, seq_opt);
+    const double t_seq = util::time_min_seconds(
+        [&] { seq_plan->execute(x.data(), y.data()); }, 3, 5e-3);
+    std::printf("host,spiral-seq,%d,%lld,%.1f\n", k,
+                static_cast<long long>(n), util::pseudo_mflops(n, t_seq));
+
+    core::PlannerOptions par_opt;
+    par_opt.threads = threads;
+    auto par_plan = core::plan_dft(n, par_opt);
+    const double t_par = util::time_min_seconds(
+        [&] { par_plan->execute(x.data(), y.data()); }, 3, 5e-3);
+    std::printf("host,spiral-pthreads,%d,%lld,%.1f\n", k,
+                static_cast<long long>(n), util::pseudo_mflops(n, t_par));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const int kmin = static_cast<int>(args.get_int("kmin", 6));
+  const int kmax = static_cast<int>(args.get_int("kmax", 20));
+  const std::string which = args.get("machine", "all");
+
+  std::printf("# Figure 3 reproduction: DFT performance, pseudo Mflop/s\n");
+  std::printf("# (simulated machines; see DESIGN.md for the substitution)\n\n");
+
+  if (which == "all") {
+    for (const auto& cfg : machine::all_machines()) {
+      run_simulated(cfg, kmin, kmax);
+    }
+  } else {
+    run_simulated(machine::machine_by_name(which), kmin, kmax);
+  }
+
+  if (args.has("real")) {
+    run_real(kmin, std::min(kmax, 16),
+             static_cast<int>(args.get_int("threads", 2)));
+  }
+  return 0;
+}

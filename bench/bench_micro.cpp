@@ -1,0 +1,90 @@
+// Google-benchmark microbenchmarks of the real (host) execution path:
+// codelets, fused programs, plan reuse, thread-pool dispatch. These
+// measure the library's actual implementation quality on the host CPU,
+// complementing the simulated figure benches.
+#include <benchmark/benchmark.h>
+
+#include "backend/codelets.hpp"
+#include "backend/lower.hpp"
+#include "backend/program.hpp"
+#include "baselines/fft_iterative.hpp"
+#include "core/spiral_fft.hpp"
+#include "rewrite/breakdown.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spiral;
+
+void BM_Codelet(benchmark::State& state) {
+  const idx_t n = state.range(0);
+  util::Rng rng(n);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  backend::CodeletIo io;
+  io.x = x.data();
+  io.y = y.data();
+  for (auto _ : state) {
+    backend::dft_codelet(n, -1, io);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Codelet)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SpiralSequential(benchmark::State& state) {
+  const idx_t n = idx_t{1} << state.range(0);
+  auto plan = core::plan_dft(n);
+  util::Rng rng(n);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  for (auto _ : state) {
+    plan->execute(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  const double l = static_cast<double>(state.range(0));
+  state.counters["pseudo_mflops"] = benchmark::Counter(
+      5.0 * double(n) * l * double(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpiralSequential)->DenseRange(6, 16, 2);
+
+void BM_IterativeBaseline(benchmark::State& state) {
+  const idx_t n = idx_t{1} << state.range(0);
+  util::Rng rng(n);
+  auto x = rng.complex_signal(n);
+  for (auto _ : state) {
+    auto y = x;
+    baselines::fft_iterative_inplace(y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_IterativeBaseline)->DenseRange(6, 16, 2);
+
+void BM_SpiralThreaded(benchmark::State& state) {
+  const idx_t n = idx_t{1} << state.range(0);
+  core::PlannerOptions opt;
+  opt.threads = 2;
+  auto plan = core::plan_dft(n, opt);
+  util::Rng rng(n);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  for (auto _ : state) {
+    plan->execute(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SpiralThreaded)->DenseRange(8, 16, 2);
+
+void BM_PlanCreation(benchmark::State& state) {
+  const idx_t n = idx_t{1} << state.range(0);
+  for (auto _ : state) {
+    auto plan = core::plan_dft(n);
+    benchmark::DoNotOptimize(plan.get());
+  }
+}
+BENCHMARK(BM_PlanCreation)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Extension bench: SIMD composition (paper Section 3.2: formula (14) has
+// "alignment guarantees ... to use (14) in tandem with the efficient
+// short vector Cooley-Tukey FFT"). Reports, per machine and size, the
+// simulated speedups of SIMD alone, threading alone, and both combined,
+// plus the per-stage vectorization analysis of the generated program.
+#include <cstdio>
+
+#include "backend/vectorize.hpp"
+#include "bench_common.hpp"
+#include "rewrite/vec_rules.hpp"
+#include "util/cli.hpp"
+
+using namespace spiral;
+using namespace spiral::bench;
+
+namespace {
+
+/// Tandem plan: multicore CT (14) with vec-rewritten parallel blocks.
+std::optional<backend::StageList> tandem_plan(idx_t n, idx_t p, idx_t mu,
+                                              idx_t nu) {
+  const idx_t m = admissible_split(n, p, mu);
+  if (m == 0) return std::nullopt;
+  auto f = rewrite::derive_multicore_ct(n, m, p, mu);
+  f = rewrite::expand_dfts_balanced(f);
+  f = rewrite::vectorize_parallel_blocks(f, nu);
+  return backend::lower_fused(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const int kmin = static_cast<int>(args.get_int("kmin", 8));
+  const int kmax = static_cast<int>(args.get_int("kmax", 16));
+  const idx_t nu = args.get_int("nu", 4);
+
+  std::printf("# SIMD x SMP composition (simulated, vector width nu=%lld "
+              "complex)\n",
+              static_cast<long long>(nu));
+  std::printf(
+      "machine,log2n,scalar_mflops,simd_mflops,smp_mflops,both_mflops,"
+      "combined_speedup\n");
+  for (const auto& cfg : machine::all_machines()) {
+    for (int k = kmin; k <= kmax; k += 2) {
+      const idx_t n = idx_t{1} << k;
+      auto plan = tandem_plan(n, cfg.cores, cfg.mu(),
+                              std::min<idx_t>(nu, cfg.mu()));
+      if (!plan) continue;
+      auto run = [&](int threads, idx_t simd) {
+        SimOptions o;
+        o.threads = threads;
+        o.simd_complex = simd;
+        return machine::simulate(*plan, cfg, o);
+      };
+      const auto base = run(1, 1);
+      const auto simd = run(1, nu);
+      const auto smp = run(cfg.cores, 1);
+      const auto both = run(cfg.cores, nu);
+      std::printf("%s,%d,%.1f,%.1f,%.1f,%.1f,%.2fx\n", cfg.name.c_str(), k,
+                  base.pseudo_mflops, simd.pseudo_mflops, smp.pseudo_mflops,
+                  both.pseudo_mflops, base.cycles / both.cycles);
+    }
+  }
+
+  // Per-stage vectorization report for one representative tandem program.
+  const idx_t n = idx_t{1} << 12;
+  auto plan = tandem_plan(n, 2, nu, nu);
+  if (plan) {
+    std::printf("\n# per-stage analysis, DFT_%lld, p=2, mu=nu=%lld:\n",
+                static_cast<long long>(n), static_cast<long long>(nu));
+    const auto info = backend::program_vector_info(*plan, nu);
+    for (std::size_t i = 0; i < info.size(); ++i) {
+      std::printf("# stage %zu: width=%lld form=%s  (%s)\n", i,
+                  static_cast<long long>(info[i].width),
+                  backend::to_string(info[i].form),
+                  plan->stages[i].label.c_str());
+    }
+    std::printf("# fully vectorizable at nu=%lld: %s\n",
+                static_cast<long long>(nu),
+                backend::fully_vectorizable(*plan, nu) ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Domain example: 2D circular convolution via the convolution theorem —
+// blur a synthetic "image" with a Gaussian-like kernel using parallel 2D
+// DFT plans (forward both operands, multiply spectra, inverse).
+//
+//   $ ./convolution2d [--rows=64] [--cols=64] [--threads=2]
+//
+// Verifies the spectral result against direct spatial convolution.
+#include <cmath>
+#include <cstdio>
+
+#include "core/spiral_fft.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spiral;
+  util::CliArgs args(argc, argv);
+  const idx_t rows = args.get_int("rows", 64);
+  const idx_t cols = args.get_int("cols", 64);
+  const int threads = static_cast<int>(args.get_int("threads", 2));
+  const idx_t n = rows * cols;
+
+  // Synthetic image: a few bright blobs on a noisy background.
+  util::Rng rng(42);
+  util::cvec img(n), ker(n, cplx{0, 0});
+  for (idx_t r = 0; r < rows; ++r) {
+    for (idx_t c = 0; c < cols; ++c) {
+      double v = 0.05 * rng.uniform(0.0, 1.0);
+      if ((r % 16 == 8) && (c % 16 == 8)) v += 1.0;  // blobs
+      img[size_t(r * cols + c)] = {v, 0.0};
+    }
+  }
+  // 3x3 blur kernel centred at the origin (circular).
+  const double w[3] = {0.25, 0.125, 0.0625};
+  for (int dr = -1; dr <= 1; ++dr) {
+    for (int dc = -1; dc <= 1; ++dc) {
+      const idx_t r = (rows + dr) % rows;
+      const idx_t c = (cols + dc) % cols;
+      ker[size_t(r * cols + c)] = {w[std::abs(dr) + std::abs(dc)], 0.0};
+    }
+  }
+
+  core::PlannerOptions fwd;
+  fwd.threads = threads;
+  core::PlannerOptions inv = fwd;
+  inv.direction = +1;
+  auto pf = core::plan_dft_2d(rows, cols, fwd);
+  auto pi = core::plan_dft_2d(rows, cols, inv);
+  std::printf("2D plans (%lldx%lld): %s\n", (long long)rows,
+              (long long)cols, pf->parallel() ? "parallel" : "sequential");
+
+  // Convolution theorem: conv = IDFT( DFT(img) .* DFT(ker) ) / n.
+  util::cvec fimg(n), fker(n), prod(n), out(n);
+  pf->execute(img.data(), fimg.data());
+  pf->execute(ker.data(), fker.data());
+  for (idx_t i = 0; i < n; ++i) {
+    prod[size_t(i)] = fimg[size_t(i)] * fker[size_t(i)];
+  }
+  pi->execute(prod.data(), out.data());
+  for (auto& v : out) v /= static_cast<double>(n);
+
+  // Verify a sample of pixels against direct circular convolution.
+  double err = 0.0;
+  for (idx_t r = 0; r < rows; r += rows / 8) {
+    for (idx_t c = 0; c < cols; c += cols / 8) {
+      cplx direct{0, 0};
+      for (idx_t kr = 0; kr < rows; ++kr) {
+        for (idx_t kc = 0; kc < cols; ++kc) {
+          if (std::abs(ker[size_t(kr * cols + kc)]) == 0.0) continue;
+          const idx_t sr = (r + rows - kr) % rows;
+          const idx_t sc = (c + cols - kc) % cols;
+          direct += img[size_t(sr * cols + sc)] *
+                    ker[size_t(kr * cols + kc)];
+        }
+      }
+      err = std::max(err, std::abs(direct - out[size_t(r * cols + c)]));
+    }
+  }
+  std::printf("max |spectral - direct| over sampled pixels: %.3e\n", err);
+  std::printf("blob peak before/after blur: %.3f -> %.3f (smoothed)\n",
+              img[size_t(8 * cols + 8)].real(),
+              out[size_t(8 * cols + 8)].real());
+  return err < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Domain example: FFT-based spectral low-pass filtering — the classic
+// signal-processing workload motivating fast DFT libraries. A noisy
+// multi-tone signal is transformed, high-frequency bins are zeroed, and
+// the signal is reconstructed with the inverse plan.
+//
+//   $ ./spectral_filter [--n=4096] [--threads=2] [--cutoff=0.05]
+//
+// Uses forward and inverse multicore plans from the public API and
+// reports the noise suppression achieved.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "core/spiral_fft.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spiral;
+  util::CliArgs args(argc, argv);
+  const idx_t n = args.get_int("n", 4096);
+  const int threads = static_cast<int>(args.get_int("threads", 2));
+  const double cutoff = args.get_double("cutoff", 0.05);
+
+  // Synthetic signal: two low-frequency tones + white noise.
+  util::Rng rng(2026);
+  util::cvec clean(n), noisy(n);
+  for (idx_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    const double v = std::sin(2 * std::numbers::pi * 5 * t) +
+                     0.5 * std::sin(2 * std::numbers::pi * 17 * t);
+    clean[size_t(i)] = {v, 0.0};
+    noisy[size_t(i)] = {v + 0.4 * rng.uniform(), 0.0};
+  }
+
+  core::PlannerOptions fwd_opt;
+  fwd_opt.threads = threads;
+  core::PlannerOptions inv_opt = fwd_opt;
+  inv_opt.direction = +1;
+  auto fwd = core::plan_dft(n, fwd_opt);
+  auto inv = core::plan_dft(n, inv_opt);
+  std::printf("plans: %s / inverse, threads=%d\n",
+              fwd->parallel() ? "parallel" : "sequential", threads);
+
+  // Forward transform, zero bins above the cutoff frequency.
+  util::cvec spec(n);
+  fwd->execute(noisy.data(), spec.data());
+  const idx_t keep = std::max<idx_t>(1, static_cast<idx_t>(cutoff * n));
+  idx_t zeroed = 0;
+  for (idx_t k = keep; k < n - keep; ++k) {
+    spec[size_t(k)] = {0.0, 0.0};
+    ++zeroed;
+  }
+
+  // Inverse transform (unscaled -> divide by n).
+  util::cvec filtered(n);
+  inv->execute(spec.data(), filtered.data());
+  for (auto& v : filtered) v /= static_cast<double>(n);
+
+  auto rms_err = [&](const util::cvec& a) {
+    double e = 0.0;
+    for (idx_t i = 0; i < n; ++i) {
+      e += std::norm(a[size_t(i)] - clean[size_t(i)]);
+    }
+    return std::sqrt(e / static_cast<double>(n));
+  };
+  const double before = rms_err(noisy);
+  const double after = rms_err(filtered);
+  std::printf("zeroed %lld of %lld bins above cutoff %.3f\n",
+              static_cast<long long>(zeroed), static_cast<long long>(n),
+              cutoff);
+  std::printf("RMS error vs clean signal: %.4f -> %.4f (%.1fx reduction)\n",
+              before, after, before / after);
+  return after < before ? 0 : 1;
+}

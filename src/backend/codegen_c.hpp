@@ -1,0 +1,46 @@
+// C code generator: turns a lowered+fused stage list into a standalone,
+// compilable C99 translation unit — the analogue of Spiral's final output
+// (Section 2.3 "Implementation level": SPL compiler emitting C with
+// OpenMP parallel loops or pthreads).
+//
+// The generated file contains:
+//   * static const index-map / twiddle tables for every stage,
+//   * one function per distinct codelet size (iterative radix-2),
+//   * the entry point  void <name>(const double* x, double* y)
+//     operating on interleaved complex data,
+//   * optional OpenMP pragmas or pthreads dispatch for parallel stages,
+//   * an optional self-testing main() comparing against a direct O(n^2)
+//     DFT.
+//
+// Integration tests compile the emitted source with the system compiler
+// and run it (tests/test_codegen_c.cpp).
+#pragma once
+
+#include <string>
+
+#include "backend/stage.hpp"
+
+namespace spiral::backend {
+
+enum class CodegenThreading {
+  kNone,     ///< sequential C
+  kOpenMP,   ///< #pragma omp parallel for on parallel stages
+  kPthreads, ///< explicit pthread fork/join per parallel stage
+  /// Persistent worker team with sense-reversing spin barriers — the
+  /// "low-latency minimal overhead synchronization" the paper's generated
+  /// code uses for fixed (N, p, mu) (Section 3.2). Threads are created on
+  /// the first call and reused across transforms.
+  kPthreadsPool,
+};
+
+struct CodegenOptions {
+  std::string function_name = "spiral_dft";
+  CodegenThreading threading = CodegenThreading::kNone;
+  bool emit_main = false;  ///< self-testing main() with exit code 0/1
+};
+
+/// Renders the stage list as a complete C source file.
+[[nodiscard]] std::string emit_c(const StageList& list,
+                                 const CodegenOptions& opts = {});
+
+}  // namespace spiral::backend

@@ -1,0 +1,57 @@
+// Unrolled DFT codelets — the base cases of the generated programs.
+//
+// A codelet computes one DFT_n (n small) with fully general addressing:
+// input elements come either from a strided location or through an
+// absolute index map (the result of fusing permutations into the loop,
+// paper Section 3.1 / the loop-merging framework [11]), optionally
+// multiplied by fused diagonal entries (twiddles) on load.
+//
+// Sizes 2, 4, 8 are hand-unrolled (radix-2 DIT); other powers of two up
+// to 32 use an in-register iterative radix-2; non-powers of two fall back
+// to direct summation (needed only for completeness on odd sizes).
+#pragma once
+
+#include "util/aligned_vector.hpp"
+#include "util/common.hpp"
+
+namespace spiral::backend {
+
+/// Largest codelet size with a fast-path implementation.
+inline constexpr idx_t kCodeletMax = 32;
+
+/// Addressing descriptor for one codelet invocation.
+///
+/// Input element l (0 <= l < n) is read from
+///   x[in_map ? in_map[l] : l * in_stride]
+/// and multiplied by in_scale[l] when in_scale != nullptr.
+/// Output element l is written to
+///   y[out_map ? out_map[l] : l * out_stride]
+/// after multiplication by out_scale[l] when out_scale != nullptr.
+struct CodeletIo {
+  const cplx* x = nullptr;
+  cplx* y = nullptr;
+  idx_t in_stride = 1;
+  idx_t out_stride = 1;
+  const std::int32_t* in_map = nullptr;
+  const std::int32_t* out_map = nullptr;
+  const cplx* in_scale = nullptr;
+  const cplx* out_scale = nullptr;
+};
+
+/// Computes y = DFT_n(x) with the given addressing.
+/// sign = -1: forward transform (w = e^{-2 pi i / n}); +1: inverse
+/// (unscaled).
+void dft_codelet(idx_t n, int sign, const CodeletIo& io);
+
+/// Computes y = WHT_n(x) (Walsh-Hadamard: butterflies only, no twiddles,
+/// self-inverse up to scaling) with the given addressing. n a power of 2.
+void wht_codelet(idx_t n, const CodeletIo& io);
+
+/// Real flop count of the codelet implementation for size n (used by the
+/// machine model; matches the actual arithmetic performed).
+[[nodiscard]] double codelet_flops(idx_t n);
+
+/// Flop count of the WHT codelet (2 real adds per complex add).
+[[nodiscard]] double wht_codelet_flops(idx_t n);
+
+}  // namespace spiral::backend

@@ -1,0 +1,160 @@
+#include "backend/fuse.hpp"
+
+#include <algorithm>
+
+#include "backend/vectorize.hpp"
+
+namespace spiral::backend {
+
+namespace {
+
+/// Inverse of a bijective map over [0, n): inv[map[k]] = k.
+std::vector<std::int32_t> invert(const std::vector<std::int32_t>& map) {
+  std::vector<std::int32_t> inv(map.size());
+  for (std::size_t k = 0; k < map.size(); ++k) {
+    inv[static_cast<std::size_t>(map[k])] = static_cast<std::int32_t>(k);
+  }
+  return inv;
+}
+
+/// Composes two pure stages: `right` applies first, `left` second.
+/// Result replaces `left`; iteration order of `left` is kept.
+Stage compose_pure(const Stage& left, const Stage& right) {
+  Stage s;
+  s.iters = left.iters;
+  s.cn = 1;
+  s.is_compute = false;
+  s.parallel_p = std::max(left.parallel_p, right.parallel_p);
+  s.label = left.label + " o " + right.label;
+  const auto inv_out_r = invert(right.out_map);
+  const idx_t n = left.iters;
+  s.in_map.resize(static_cast<std::size_t>(n));
+  s.out_map = left.out_map;
+  const bool scl = !left.in_scale.empty() || !right.in_scale.empty();
+  if (scl) s.in_scale.assign(static_cast<std::size_t>(n), cplx{1.0, 0.0});
+  for (idx_t j = 0; j < n; ++j) {
+    const auto t = static_cast<std::size_t>(left.in_map[std::size_t(j)]);
+    const auto k = static_cast<std::size_t>(inv_out_r[t]);
+    s.in_map[std::size_t(j)] = right.in_map[k];
+    if (scl) {
+      cplx v{1.0, 0.0};
+      if (!left.in_scale.empty()) v *= left.in_scale[std::size_t(j)];
+      if (!right.in_scale.empty()) v *= right.in_scale[k];
+      s.in_scale[std::size_t(j)] = v;
+    }
+  }
+  return s;
+}
+
+/// Folds pure stage `right` (applied before `comp`) into `comp`'s input.
+void fuse_input(Stage& comp, const Stage& right) {
+  const auto inv_out_r = invert(right.out_map);
+  const std::size_t total = comp.in_map.size();
+  const bool scl = !right.in_scale.empty();
+  if (scl && comp.in_scale.empty()) {
+    comp.in_scale.assign(total, cplx{1.0, 0.0});
+  }
+  for (std::size_t j = 0; j < total; ++j) {
+    const auto t = static_cast<std::size_t>(comp.in_map[j]);
+    const auto k = static_cast<std::size_t>(inv_out_r[t]);
+    if (scl) comp.in_scale[j] *= right.in_scale[k];
+    comp.in_map[j] = right.in_map[k];
+  }
+  comp.label += " o " + right.label;
+}
+
+/// Folds pure stage `left` (applied after `comp`) into `comp`'s output.
+void fuse_output(Stage& comp, const Stage& left) {
+  const auto inv_in_l = invert(left.in_map);
+  const std::size_t total = comp.out_map.size();
+  const bool scl = !left.in_scale.empty();
+  if (scl && comp.out_scale.empty()) {
+    comp.out_scale.assign(total, cplx{1.0, 0.0});
+  }
+  for (std::size_t j = 0; j < total; ++j) {
+    const auto t = static_cast<std::size_t>(comp.out_map[j]);
+    const auto k = static_cast<std::size_t>(inv_in_l[t]);
+    if (scl) comp.out_scale[j] *= left.in_scale[k];
+    comp.out_map[j] = left.out_map[k];
+  }
+  comp.label = left.label + " o " + comp.label;
+}
+
+}  // namespace
+
+int fuse(StageList& list) {
+  auto& st = list.stages;
+  int eliminated = 0;
+
+  // Largest vector width fusion must preserve (see lane_safe below).
+  constexpr idx_t kMaxNu = 16;
+  auto width = [](const Stage& s) {
+    return stage_vector_info(s, kMaxNu).width;
+  };
+
+  // Tries one fusion step at priority `level`, returns true if applied.
+  //   0: input-side,  lane-safe only
+  //   1: output-side, lane-safe only
+  //   2: pure-pure composition
+  //   3: input-side,  unconditional
+  //   4: output-side, unconditional
+  // The lane-safe guard keeps a compute stage's vector-alignment
+  // structure (backend::stage_vector_info) intact: without it, the
+  // in-register-shuffle permutations of one vectorized block can drift
+  // across a block boundary into a neighbouring loop's gather and break
+  // its SIMD lanes. Unconditional fusion remains as a fallback so fused
+  // programs never have more data passes than before.
+  auto try_level = [&](int level) -> bool {
+    for (std::size_t i = 0; i + 1 < st.size(); ++i) {
+      Stage& left = st[i];
+      Stage& right = st[i + 1];
+      if ((level == 0 || level == 3) && left.is_compute &&
+          !right.is_compute) {
+        if (level == 0 && width(left) > 1) {
+          Stage trial = left;
+          fuse_input(trial, right);
+          if (width(trial) < width(left)) continue;  // would break lanes
+          left = std::move(trial);
+        } else {
+          fuse_input(left, right);
+        }
+        st.erase(st.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        return true;
+      }
+      if ((level == 1 || level == 4) && !left.is_compute &&
+          right.is_compute) {
+        if (level == 1 && width(right) > 1) {
+          Stage trial = right;
+          fuse_output(trial, left);
+          if (width(trial) < width(right)) continue;
+          right = std::move(trial);
+        } else {
+          fuse_output(right, left);
+        }
+        st.erase(st.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+      if (level == 2 && !left.is_compute && !right.is_compute) {
+        left = compose_pure(left, right);
+        st.erase(st.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int level = 0; level < 5; ++level) {
+      if (try_level(level)) {
+        ++eliminated;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return eliminated;
+}
+
+}  // namespace spiral::backend

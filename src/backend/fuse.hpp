@@ -1,0 +1,22 @@
+// Loop merging on the stage IR (the backend half of [11]'s formula-level
+// loop merging): permutation and diagonal stages are folded into the
+// neighbouring compute loops as index maps and scale factors, so that —
+// as in Spiral-generated code — "permutations are usually not performed
+// explicitly" (paper, Section 3.1).
+#pragma once
+
+#include "backend/stage.hpp"
+
+namespace spiral::backend {
+
+/// Fuses a stage list in place:
+///   1. adjacent pure (non-compute) stages are composed into one;
+///   2. a pure stage directly right of a compute stage (i.e. applied
+///      before it) is folded into that stage's input maps/scales;
+///   3. a pure stage directly left of a compute stage (applied after it)
+///      is folded into its output maps/scales.
+/// Pure stages with no compute neighbour (e.g. a program that is a single
+/// permutation) survive. Returns the number of stages eliminated.
+int fuse(StageList& list);
+
+}  // namespace spiral::backend

@@ -1,0 +1,399 @@
+#include "backend/lower.hpp"
+
+#include <sstream>
+
+#include "backend/codelets.hpp"
+#include "backend/fuse.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/simplify.hpp"
+#include "spl/dense.hpp"
+#include "spl/printer.hpp"
+#include "spl/twiddle.hpp"
+
+namespace spiral::backend {
+
+using spl::Builder;
+using spl::FormulaPtr;
+using spl::I;
+using spl::Kind;
+using util::require;
+
+namespace {
+
+rewrite::RuleSet normalization_rules() {
+  using rewrite::Rule;
+  rewrite::RuleSet rules;
+
+  // A (x) B -> (A (x) I_nb) . (I_na (x) B) when neither side is I.
+  rules.push_back(Rule{
+      "tensor-split-general",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        if (f->kind != Kind::kTensor) return nullptr;
+        const auto& a = f->child(0);
+        const auto& b = f->child(1);
+        if (a->kind == Kind::kIdentity || b->kind == Kind::kIdentity) {
+          return nullptr;
+        }
+        return Builder::compose({
+            Builder::tensor(a, I(b->size)),
+            Builder::tensor(I(a->size), b),
+        });
+      }});
+
+  // (A.B) (x) I_k -> (A (x) I_k) . (B (x) I_k)
+  rules.push_back(Rule{
+      "tensor-compose-left",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        if (f->kind != Kind::kTensor) return nullptr;
+        const auto& c = f->child(0);
+        const auto& id = f->child(1);
+        if (c->kind != Kind::kCompose || id->kind != Kind::kIdentity) {
+          return nullptr;
+        }
+        std::vector<FormulaPtr> factors;
+        for (const auto& g : c->children) {
+          factors.push_back(Builder::tensor(g, I(id->n)));
+        }
+        return Builder::compose(std::move(factors));
+      }});
+
+  // I_m (x) (A.B) -> (I_m (x) A) . (I_m (x) B)
+  rules.push_back(Rule{
+      "tensor-compose-right",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        if (f->kind != Kind::kTensor) return nullptr;
+        const auto& id = f->child(0);
+        const auto& c = f->child(1);
+        if (id->kind != Kind::kIdentity || c->kind != Kind::kCompose) {
+          return nullptr;
+        }
+        std::vector<FormulaPtr> factors;
+        for (const auto& g : c->children) {
+          factors.push_back(Builder::tensor(I(id->n), g));
+        }
+        return Builder::compose(std::move(factors));
+      }});
+
+  // (A.B) (x)v I_nu -> (A (x)v I_nu) . (B (x)v I_nu)
+  rules.push_back(Rule{
+      "vectensor-compose",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        if (f->kind != Kind::kVecTensor) return nullptr;
+        const auto& c = f->child(0);
+        if (c->kind != Kind::kCompose) return nullptr;
+        std::vector<FormulaPtr> factors;
+        for (const auto& g : c->children) {
+          factors.push_back(Builder::vec_tensor(g, f->mu));
+        }
+        return Builder::compose(std::move(factors));
+      }});
+
+  // I_p (x)|| (A.B) -> (I_p (x)|| A) . (I_p (x)|| B)
+  rules.push_back(Rule{
+      "tensorpar-compose",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        if (f->kind != Kind::kTensorPar) return nullptr;
+        const auto& c = f->child(0);
+        if (c->kind != Kind::kCompose) return nullptr;
+        std::vector<FormulaPtr> factors;
+        for (const auto& g : c->children) {
+          factors.push_back(Builder::tensor_par(f->p, g));
+        }
+        return Builder::compose(std::move(factors));
+      }});
+
+  for (auto& r : rewrite::simplification_rules()) rules.push_back(std::move(r));
+  return rules;
+}
+
+/// Loop-nest context accumulated while descending through tensor
+/// constructs. `dims` are outer-to-inner loop dimensions (count +
+/// per-iteration element offset); `elem_stride` is the stride between the
+/// leaf's logical elements; `base` is a constant offset (direct sums).
+struct LoopCtx {
+  struct Dim {
+    idx_t count;
+    idx_t stride;
+  };
+  std::vector<Dim> dims;
+  /// Dimensions forced innermost regardless of nesting position: the SIMD
+  /// lane dimension of A (x)v I_nu must iterate fastest so that lanes are
+  /// adjacent iterations (backend::VecForm::kAcrossIterations).
+  std::vector<Dim> inner_dims;
+  idx_t elem_stride = 1;
+  idx_t base = 0;
+  idx_t parallel_p = 0;
+
+  [[nodiscard]] idx_t total_iters() const {
+    idx_t t = 1;
+    for (const auto& d : dims) t *= d.count;
+    for (const auto& d : inner_dims) t *= d.count;
+    return t;
+  }
+
+  /// Invokes fn(iteration_index, base_offset) for every iteration of the
+  /// nest, outer dimension slowest (iteration order == memory order of
+  /// the skeleton loop); inner_dims iterate fastest.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    std::vector<Dim> all = dims;
+    all.insert(all.end(), inner_dims.begin(), inner_dims.end());
+    const idx_t total = total_iters();
+    for (idx_t it = 0; it < total; ++it) {
+      idx_t rem = it;
+      idx_t off = base;
+      // Decompose `it` into the mixed-radix digits of the dims.
+      idx_t scale = total;
+      for (const auto& d : all) {
+        scale /= d.count;
+        const idx_t digit = rem / scale;
+        rem %= scale;
+        off += digit * d.stride;
+      }
+      fn(it, off);
+    }
+  }
+};
+
+class Lowerer {
+ public:
+  explicit Lowerer(idx_t n) { list_.n = n; }
+
+  StageList take() && { return std::move(list_); }
+
+  void walk(const FormulaPtr& f, LoopCtx ctx) {
+    switch (f->kind) {
+      case Kind::kCompose: {
+        require(ctx.dims.empty() && ctx.elem_stride == 1,
+                "lower: nested composition survived normalization");
+        for (const auto& g : f->children) walk(g, ctx);
+        return;
+      }
+      case Kind::kIdentity:
+        return;  // no-op factor
+      case Kind::kTensor: {
+        const auto& a = f->child(0);
+        const auto& b = f->child(1);
+        if (a->kind == Kind::kIdentity) {
+          ctx.dims.push_back({a->n, b->size * ctx.elem_stride});
+          walk(b, ctx);
+          return;
+        }
+        if (b->kind == Kind::kIdentity) {
+          ctx.dims.push_back({b->n, ctx.elem_stride});
+          ctx.elem_stride *= b->n;
+          walk(a, ctx);
+          return;
+        }
+        require(false, "lower: general tensor survived normalization");
+        return;
+      }
+      case Kind::kTensorPar: {
+        require(ctx.parallel_p == 0, "lower: nested parallel tensor");
+        ctx.parallel_p = f->p;
+        ctx.dims.push_back({f->p, f->child(0)->size * ctx.elem_stride});
+        walk(f->child(0), ctx);
+        return;
+      }
+      case Kind::kVecTensor: {
+        // A (x)v I_nu lowers like A (x) I_nu with the nu dimension forced
+        // innermost: SIMD lanes are adjacent iterations.
+        ctx.inner_dims.push_back({f->mu, ctx.elem_stride});
+        ctx.elem_stride *= f->mu;
+        walk(f->child(0), ctx);
+        return;
+      }
+      case Kind::kVecShuffle:
+        emit_perm(f, ctx);
+        return;
+      case Kind::kVecTag:
+        require(false, "lower: unresolved vec tag (run vectorize first)");
+        return;
+      case Kind::kDFT:
+      case Kind::kWHT:
+      case Kind::kF2:
+        emit_compute(f, ctx);
+        return;
+      case Kind::kStridePerm:
+      case Kind::kPermBar:
+        emit_perm(f, ctx);
+        return;
+      case Kind::kTwiddleDiag:
+      case Kind::kDiagSeg:
+        emit_scale(f, ctx);
+        return;
+      case Kind::kDirectSum:
+      case Kind::kDirectSumPar:
+        emit_direct_sum(f, ctx);
+        return;
+      case Kind::kSmpTag:
+        require(false, "lower: unresolved smp tag (run parallelize first)");
+        return;
+    }
+    require(false, "lower: unhandled construct");
+  }
+
+ private:
+  void emit_compute(const FormulaPtr& f, const LoopCtx& ctx) {
+    const idx_t n = f->n;
+    require(n <= 64, "lower: DFT leaf too large for a codelet; expand it");
+    Stage s;
+    s.iters = ctx.total_iters();
+    s.cn = n;
+    s.sign = f->root_sign;
+    s.is_compute = true;
+    s.wht = f->kind == Kind::kWHT;
+    s.parallel_p = ctx.parallel_p;
+    s.in_map.resize(static_cast<std::size_t>(s.iters * n));
+    s.out_map.resize(s.in_map.size());
+    const idx_t es = ctx.elem_stride;
+    ctx.for_each([&](idx_t it, idx_t off) {
+      for (idx_t l = 0; l < n; ++l) {
+        const auto idx = static_cast<std::int32_t>(off + l * es);
+        s.in_map[static_cast<std::size_t>(it * n + l)] = idx;
+        s.out_map[static_cast<std::size_t>(it * n + l)] = idx;
+      }
+    });
+    s.label = stage_label(f, ctx);
+    list_.stages.push_back(std::move(s));
+  }
+
+  void emit_perm(const FormulaPtr& f, const LoopCtx& ctx) {
+    const auto table = spl::permutation_table(f);
+    const idx_t sz = f->size;
+    Stage s;
+    s.iters = ctx.total_iters() * sz;
+    s.cn = 1;
+    s.is_compute = false;
+    s.parallel_p = ctx.parallel_p;
+    s.in_map.resize(static_cast<std::size_t>(s.iters));
+    s.out_map.resize(s.in_map.size());
+    const idx_t es = ctx.elem_stride;
+    ctx.for_each([&](idx_t it, idx_t off) {
+      for (idx_t l = 0; l < sz; ++l) {
+        s.out_map[static_cast<std::size_t>(it * sz + l)] =
+            static_cast<std::int32_t>(off + l * es);
+        s.in_map[static_cast<std::size_t>(it * sz + l)] =
+            static_cast<std::int32_t>(off +
+                                      table[static_cast<std::size_t>(l)] * es);
+      }
+    });
+    s.label = stage_label(f, ctx);
+    list_.stages.push_back(std::move(s));
+  }
+
+  void emit_scale(const FormulaPtr& f, const LoopCtx& ctx) {
+    const idx_t sz = f->size;
+    Stage s;
+    s.iters = ctx.total_iters() * sz;
+    s.cn = 1;
+    s.is_compute = false;
+    s.parallel_p = ctx.parallel_p;
+    s.in_map.resize(static_cast<std::size_t>(s.iters));
+    s.out_map.resize(s.in_map.size());
+    s.in_scale.resize(s.in_map.size());
+    const idx_t es = ctx.elem_stride;
+    const idx_t off0 = (f->kind == Kind::kDiagSeg) ? f->seg_off : 0;
+    ctx.for_each([&](idx_t it, idx_t off) {
+      for (idx_t l = 0; l < sz; ++l) {
+        const auto idx = static_cast<std::int32_t>(off + l * es);
+        s.in_map[static_cast<std::size_t>(it * sz + l)] = idx;
+        s.out_map[static_cast<std::size_t>(it * sz + l)] = idx;
+        s.in_scale[static_cast<std::size_t>(it * sz + l)] =
+            spl::twiddle_entry(f->tw_m, f->tw_n, off0 + l, f->root_sign);
+      }
+    });
+    s.label = stage_label(f, ctx);
+    list_.stages.push_back(std::move(s));
+  }
+
+  void emit_direct_sum(const FormulaPtr& f, const LoopCtx& ctx) {
+    // The common (and, for parallel sums, the only supported) case: all
+    // blocks are twiddle-diagonal segments -> one fused scale stage.
+    bool all_diag = true;
+    for (const auto& c : f->children) {
+      all_diag = all_diag && c->kind == Kind::kDiagSeg;
+    }
+    require(all_diag,
+            "lower: direct sums are supported for diagonal segments only");
+    const idx_t sz = f->size;
+    Stage s;
+    s.iters = ctx.total_iters() * sz;
+    s.cn = 1;
+    s.is_compute = false;
+    s.parallel_p = (f->kind == Kind::kDirectSumPar)
+                       ? static_cast<idx_t>(f->arity())
+                       : ctx.parallel_p;
+    s.in_map.resize(static_cast<std::size_t>(s.iters));
+    s.out_map.resize(s.in_map.size());
+    s.in_scale.resize(s.in_map.size());
+    const idx_t es = ctx.elem_stride;
+    // Precompute the concatenated diagonal of the sum.
+    util::cvec diag(static_cast<std::size_t>(sz));
+    idx_t pos = 0;
+    for (const auto& c : f->children) {
+      for (idx_t l = 0; l < c->size; ++l) {
+        diag[static_cast<std::size_t>(pos++)] =
+            spl::twiddle_entry(c->tw_m, c->tw_n, c->seg_off + l,
+                               c->root_sign);
+      }
+    }
+    ctx.for_each([&](idx_t it, idx_t off) {
+      for (idx_t l = 0; l < sz; ++l) {
+        const auto idx = static_cast<std::int32_t>(off + l * es);
+        s.in_map[static_cast<std::size_t>(it * sz + l)] = idx;
+        s.out_map[static_cast<std::size_t>(it * sz + l)] = idx;
+        s.in_scale[static_cast<std::size_t>(it * sz + l)] =
+            diag[static_cast<std::size_t>(l)];
+      }
+    });
+    s.label = stage_label(f, ctx);
+    list_.stages.push_back(std::move(s));
+  }
+
+  static std::string stage_label(const FormulaPtr& f, const LoopCtx& ctx) {
+    std::ostringstream os;
+    if (ctx.parallel_p > 0) os << "par" << ctx.parallel_p << ":";
+    os << spl::to_string(f);
+    return os.str();
+  }
+
+  StageList list_;
+};
+
+}  // namespace
+
+FormulaPtr normalize(const FormulaPtr& f) {
+  return rewrite::rewrite_fixpoint(f, normalization_rules());
+}
+
+StageList lower(const FormulaPtr& f) {
+  FormulaPtr g = normalize(f);
+  Lowerer lw(g->size);
+  lw.walk(g, LoopCtx{});
+  StageList list = std::move(lw).take();
+  if (list.stages.empty()) {
+    // Formula was the identity: emit an explicit copy stage.
+    Stage s;
+    s.iters = g->size;
+    s.cn = 1;
+    s.is_compute = false;
+    s.in_map.resize(static_cast<std::size_t>(g->size));
+    s.out_map.resize(s.in_map.size());
+    for (idx_t i = 0; i < g->size; ++i) {
+      s.in_map[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+      s.out_map[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+    }
+    s.label = "I";
+    list.stages.push_back(std::move(s));
+  }
+  return list;
+}
+
+StageList lower_fused(const FormulaPtr& f) {
+  StageList list = lower(f);
+  fuse(list);
+  return list;
+}
+
+}  // namespace spiral::backend

@@ -1,0 +1,34 @@
+// Lowering: SPL formula -> StageList (the backend's kernel IR).
+//
+// Pipeline (mirrors Spiral's implementation level, Section 2.3):
+//   1. normalize(): pull compositions out of tensor products so the whole
+//      formula becomes one top-level product of "loopable" factors,
+//          (A.B) (x) I  ->  (A (x) I).(B (x) I)
+//          I (x) (A.B)  ->  (I (x) A).(I (x) B)
+//          I_p (x)|| (A.B) -> (I_p (x)|| A).(I_p (x)|| B)
+//   2. lower(): walk each factor, accumulating the loop nest context
+//      (iteration counts and strides from enclosing tensor constructs),
+//      and materialize one Stage per compute/permutation/diagonal leaf
+//      with explicit absolute index maps.
+//   3. fuse() (see fuse.hpp): merge permutation and diagonal stages into
+//      the neighbouring compute loops — the loop merging of [11] that
+//      makes Spiral's permutations free.
+#pragma once
+
+#include "backend/stage.hpp"
+#include "spl/formula.hpp"
+
+namespace spiral::backend {
+
+/// Step 1: composition-extraction normal form.
+[[nodiscard]] spl::FormulaPtr normalize(const spl::FormulaPtr& f);
+
+/// Steps 1+2: produces the unfused stage list. Throws std::invalid_argument
+/// on constructs the backend cannot execute (e.g. a DFT nonterminal larger
+/// than 64, which should have been expanded by the rewriting level).
+[[nodiscard]] StageList lower(const spl::FormulaPtr& f);
+
+/// Full pipeline: normalize, lower and fuse.
+[[nodiscard]] StageList lower_fused(const spl::FormulaPtr& f);
+
+}  // namespace spiral::backend

@@ -1,0 +1,148 @@
+#include "backend/program.hpp"
+
+#include "backend/codelets.hpp"
+
+namespace spiral::backend {
+
+const char* to_string(ExecPolicy p) {
+  switch (p) {
+    case ExecPolicy::kSequential: return "sequential";
+    case ExecPolicy::kThreadPool: return "pthreads";
+    case ExecPolicy::kOpenMP: return "openmp";
+  }
+  return "?";
+}
+
+bool openmp_available() {
+#ifdef _OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+Program::Program(StageList stages, ExecPolicy policy,
+                 threading::ThreadPool* pool)
+    : list_(std::move(stages)), policy_(policy), pool_(pool) {
+  if (list_.stages.size() > 1) {
+    buf_[0].resize(static_cast<std::size_t>(list_.n));
+    buf_[1].resize(static_cast<std::size_t>(list_.n));
+  } else {
+    buf_[0].resize(static_cast<std::size_t>(list_.n));  // for x == y
+  }
+}
+
+namespace {
+
+/// Executes iterations [lo, hi) of a stage.
+void run_chunk(const Stage& s, const cplx* src, cplx* dst, idx_t lo,
+               idx_t hi) {
+  if (s.is_compute) {
+    const idx_t cn = s.cn;
+    for (idx_t it = lo; it < hi; ++it) {
+      CodeletIo io;
+      io.x = src;
+      io.y = dst;
+      io.in_map = s.in_map.data() + it * cn;
+      io.out_map = s.out_map.data() + it * cn;
+      io.in_scale =
+          s.in_scale.empty() ? nullptr : s.in_scale.data() + it * cn;
+      io.out_scale =
+          s.out_scale.empty() ? nullptr : s.out_scale.data() + it * cn;
+      if (s.wht) {
+        wht_codelet(cn, io);
+      } else {
+        dft_codelet(cn, s.sign, io);
+      }
+    }
+    return;
+  }
+  // Pure data stage (cn == 1).
+  if (s.in_scale.empty()) {
+    for (idx_t j = lo; j < hi; ++j) {
+      dst[s.out_map[std::size_t(j)]] = src[s.in_map[std::size_t(j)]];
+    }
+  } else {
+    for (idx_t j = lo; j < hi; ++j) {
+      dst[s.out_map[std::size_t(j)]] =
+          s.in_scale[std::size_t(j)] * src[s.in_map[std::size_t(j)]];
+    }
+  }
+}
+
+/// Runs the iterations stage `s` assigns to `task` (of `tasks` threads):
+/// contiguous chunks by default, block-cyclic when sched_block > 0.
+void run_task(const Stage& s, const cplx* src, cplx* dst, idx_t task,
+              idx_t tasks) {
+  if (s.sched_block == 0) {
+    run_chunk(s, src, dst, task * s.iters / tasks,
+              (task + 1) * s.iters / tasks);
+    return;
+  }
+  const idx_t b = s.sched_block;
+  for (idx_t base = task * b; base < s.iters; base += tasks * b) {
+    run_chunk(s, src, dst, base, std::min(base + b, s.iters));
+  }
+}
+
+}  // namespace
+
+void Program::run_stage(const Stage& s, const cplx* src, cplx* dst) {
+  const idx_t p = s.parallel_p;
+  if (p <= 1 || policy_ == ExecPolicy::kSequential) {
+    run_chunk(s, src, dst, 0, s.iters);
+    return;
+  }
+  if (policy_ == ExecPolicy::kThreadPool) {
+    util::require(pool_ != nullptr,
+                  "thread-pool policy requires a pool (see set_pool)");
+    pool_->run([&](int task) {
+      // When the pool has fewer threads than p, trailing logical tasks
+      // are folded onto the existing threads.
+      const idx_t tasks = std::max<idx_t>(p, pool_->size());
+      for (idx_t t = task; t < tasks; t += pool_->size()) {
+        run_task(s, src, dst, t, tasks);
+      }
+    });
+    return;
+  }
+#ifdef _OPENMP
+  if (policy_ == ExecPolicy::kOpenMP) {
+#pragma omp parallel for num_threads(static_cast<int>(p)) schedule(static)
+    for (idx_t t = 0; t < p; ++t) {
+      run_task(s, src, dst, t, p);
+    }
+    return;
+  }
+#endif
+  run_chunk(s, src, dst, 0, s.iters);
+}
+
+void Program::execute(const cplx* x, cplx* y) {
+  const auto& st = list_.stages;
+  util::require(!st.empty(), "empty program");
+  const cplx* src = x;
+  if (x == y && st.size() == 1) {
+    // Single-stage in-place: stage maps may collide; stage through a copy.
+    std::copy(x, x + list_.n, buf_[0].begin());
+    src = buf_[0].data();
+  }
+  // Stages apply right-to-left: st.back() first. Intermediates ping-pong
+  // between the two scratch buffers; the last stage writes into y. (With
+  // x == y and more than one stage, the first stage already moves the
+  // data out of the caller's buffer, so the final write is safe.)
+  int flip = 0;
+  for (std::size_t k = st.size(); k-- > 0;) {
+    cplx* dst;
+    if (k == 0) {
+      dst = y;
+    } else {
+      dst = buf_[flip].data();
+      flip ^= 1;
+    }
+    run_stage(st[k], src, dst);
+    src = dst;
+  }
+}
+
+}  // namespace spiral::backend

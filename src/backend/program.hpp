@@ -1,0 +1,55 @@
+// Executable FFT program: a fused stage list plus scratch buffers and an
+// execution policy. This is the runtime equivalent of the C code Spiral
+// emits — stage boundaries correspond to the barriers between parallel
+// loops in the generated program.
+#pragma once
+
+#include <memory>
+
+#include "backend/stage.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace spiral::backend {
+
+/// How parallel stages are dispatched.
+enum class ExecPolicy {
+  kSequential,  ///< ignore parallel annotations, run on the caller
+  kThreadPool,  ///< persistent pthread-style pool (low-latency barriers)
+  kOpenMP,      ///< OpenMP parallel-for (compiled in when available)
+};
+
+[[nodiscard]] const char* to_string(ExecPolicy p);
+
+/// True when the library was built with OpenMP support.
+[[nodiscard]] bool openmp_available();
+
+class Program {
+ public:
+  /// Takes ownership of the (fused) stage list. `pool` may be null for
+  /// sequential/OpenMP execution; it is borrowed, not owned.
+  Program(StageList stages, ExecPolicy policy,
+          threading::ThreadPool* pool = nullptr);
+
+  /// y = program(x). Out-of-place; x == y is supported via an extra copy.
+  /// Buffers must hold size() elements.
+  void execute(const cplx* x, cplx* y);
+
+  /// Re-points the borrowed pool (e.g. a per-call thread team, as the
+  /// FFTW-like baseline uses). Only meaningful with kThreadPool policy.
+  void set_pool(threading::ThreadPool* pool) noexcept { pool_ = pool; }
+
+  [[nodiscard]] idx_t size() const noexcept { return list_.n; }
+  [[nodiscard]] const StageList& stages() const noexcept { return list_; }
+  [[nodiscard]] ExecPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] double flops() const { return list_.flops(); }
+
+ private:
+  void run_stage(const Stage& s, const cplx* src, cplx* dst);
+
+  StageList list_;
+  ExecPolicy policy_;
+  threading::ThreadPool* pool_;
+  util::cvec buf_[2];
+};
+
+}  // namespace spiral::backend

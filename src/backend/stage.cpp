@@ -1,0 +1,41 @@
+#include "backend/stage.hpp"
+
+#include <sstream>
+
+#include "backend/codelets.hpp"
+
+namespace spiral::backend {
+
+double Stage::flops() const {
+  double f = 0.0;
+  if (is_compute) {
+    f += static_cast<double>(iters) *
+         (wht ? wht_codelet_flops(cn) : codelet_flops(cn));
+  }
+  if (!in_scale.empty()) f += 6.0 * static_cast<double>(total_elems());
+  if (!out_scale.empty()) f += 6.0 * static_cast<double>(total_elems());
+  return f;
+}
+
+double StageList::flops() const {
+  double f = 0.0;
+  for (const auto& s : stages) f += s.flops();
+  return f;
+}
+
+std::string StageList::summary() const {
+  std::ostringstream os;
+  os << "program for n=" << n << ", " << stages.size() << " stage(s):\n";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const Stage& s = stages[i];
+    os << "  [" << i << "] " << (s.is_compute ? "DFT_" : "data cn=")
+       << s.cn << " x" << s.iters;
+    if (s.parallel_p > 0) os << " par=" << s.parallel_p;
+    if (!s.in_scale.empty()) os << " +in_scale";
+    if (!s.out_scale.empty()) os << " +out_scale";
+    os << "  " << s.label << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spiral::backend

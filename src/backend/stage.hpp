@@ -1,0 +1,70 @@
+// The kernel IR the backend executes: a formula is lowered into a flat
+// sequence of *stages*, each a (possibly parallel) loop of codelet calls
+// with explicit index maps — exactly the "skeleton loop plus merged
+// decorations" structure Spiral's loop-merging produces (Section 3.1 and
+// the code sample after rule (7)/(13) in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/aligned_vector.hpp"
+#include "util/common.hpp"
+
+namespace spiral::backend {
+
+/// One loop stage:
+///
+///   parallel-for (chunked over `parallel_p` threads when > 0)
+///   for i in [0, iters):
+///     y[out_map[i*cn + l]] = DFT_cn( in_scale[i*cn+l] * x[in_map[i*cn+l]] )
+///
+/// A stage with cn == 1 and no arithmetic (`is_perm`) is a pure data
+/// permutation/scaling pass; the fusion pass tries to eliminate those by
+/// merging them into neighbouring compute stages.
+struct Stage {
+  idx_t iters = 0;       ///< number of codelet invocations
+  idx_t cn = 1;          ///< codelet size (1 for pure data stages)
+  int sign = -1;         ///< DFT root sign for compute stages
+  bool is_compute = false;  ///< true: codelet; false: copy/scale only
+  bool wht = false;      ///< compute stages: WHT codelet instead of DFT
+  idx_t parallel_p = 0;  ///< 0: sequential; else #threads
+  /// Iteration-to-thread schedule for parallel stages. 0 = contiguous
+  /// chunks (rule (7)'s mu-aware schedule: thread t gets iterations
+  /// [t*iters/p, (t+1)*iters/p)). Otherwise block-cyclic with this block
+  /// size: iteration i runs on thread (i / sched_block) % p — the
+  /// schedule the paper attributes to FFTW 3.1's loop parallelizer, which
+  /// ignores the cache line length and can false-share.
+  idx_t sched_block = 0;
+
+  /// Absolute input element index for (iteration i, element l), laid out
+  /// as in_map[i*cn + l]. Always materialized (size iters*cn == N).
+  std::vector<std::int32_t> in_map;
+  /// Absolute output element index, same layout. Always materialized.
+  std::vector<std::int32_t> out_map;
+  /// Optional fused diagonal applied on load (same layout); empty if none.
+  util::cvec in_scale;
+  /// Optional fused diagonal applied on store; empty if none.
+  util::cvec out_scale;
+
+  /// Short diagnostic label ("Ip(x)||(DFT_8 (x) I_16)" etc.).
+  std::string label;
+
+  [[nodiscard]] idx_t total_elems() const { return iters * cn; }
+
+  /// Arithmetic cost in real flops (codelets + fused scales).
+  [[nodiscard]] double flops() const;
+};
+
+/// A lowered program: stages applied right-to-left (stages.back() first),
+/// matching formula composition order y = S_0 S_1 ... S_{k-1} x.
+struct StageList {
+  idx_t n = 0;  ///< transform size
+  std::vector<Stage> stages;
+
+  [[nodiscard]] double flops() const;
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace spiral::backend

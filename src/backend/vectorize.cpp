@@ -1,0 +1,114 @@
+#include "backend/vectorize.hpp"
+
+namespace spiral::backend {
+
+const char* to_string(VecForm f) {
+  switch (f) {
+    case VecForm::kNone: return "none";
+    case VecForm::kAcrossIterations: return "across-iterations";
+    case VecForm::kWithinCodelet: return "within-codelet";
+    case VecForm::kStridedLanes: return "strided-lanes(shuffle)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Checks the lane-structured shape on one map: for every nu-pack of
+/// iterations, lane v reads/writes address(lane 0) + v*lane_stride, with
+/// lane 0 nu-aligned. lane_stride == 1 is the plain A (x) I_nu shape;
+/// lane_stride == nu is the fused in-register-transpose shape.
+bool across_iterations_ok(const std::vector<std::int32_t>& map, idx_t iters,
+                          idx_t cn, idx_t nu, idx_t lane_stride) {
+  if (iters % nu != 0) return false;
+  for (idx_t it = 0; it < iters; it += nu) {
+    for (idx_t l = 0; l < cn; ++l) {
+      const std::int32_t base = map[std::size_t(it * cn + l)];
+      // lane_stride == 1 (plain A (x) I_nu): the pack itself must be one
+      // aligned vector. lane_stride == nu (register-transpose shape): the
+      // lanes hit the same offset of nu consecutive aligned vectors —
+      // any intra-vector base offset works (neighbouring packs fill the
+      // remaining offsets of the nu x nu tile).
+      if (lane_stride == 1 && base % nu != 0) return false;
+      for (idx_t v = 1; v < nu; ++v) {
+        if (map[std::size_t((it + v) * cn + l)] !=
+            base + static_cast<std::int32_t>(v * lane_stride)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Checks the aligned-contiguous-runs shape on one map: each codelet's cn
+/// addresses split into cn/nu runs of nu consecutive aligned elements.
+bool within_codelet_ok(const std::vector<std::int32_t>& map, idx_t iters,
+                       idx_t cn, idx_t nu) {
+  if (cn % nu != 0) return false;
+  for (idx_t it = 0; it < iters; ++it) {
+    for (idx_t g = 0; g < cn; g += nu) {
+      const std::int32_t base = map[std::size_t(it * cn + g)];
+      if (base % nu != 0) return false;
+      for (idx_t v = 1; v < nu; ++v) {
+        if (map[std::size_t(it * cn + g + v)] != base + v) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+VecInfo stage_vector_info(const Stage& s, idx_t max_nu) {
+  util::require(util::is_pow2(max_nu), "vector width must be a 2-power");
+  for (idx_t nu = max_nu; nu >= 2; nu /= 2) {
+    auto one_map_ok = [&](const std::vector<std::int32_t>& map,
+                          VecForm* form) {
+      if (across_iterations_ok(map, s.iters, s.cn, nu, 1)) {
+        *form = VecForm::kAcrossIterations;
+        return true;
+      }
+      if (within_codelet_ok(map, s.iters, s.cn, nu)) {
+        *form = VecForm::kWithinCodelet;
+        return true;
+      }
+      if (across_iterations_ok(map, s.iters, s.cn, nu, nu)) {
+        *form = VecForm::kStridedLanes;
+        return true;
+      }
+      return false;
+    };
+    VecForm fin = VecForm::kNone, fout = VecForm::kNone;
+    if (one_map_ok(s.in_map, &fin) && one_map_ok(s.out_map, &fout)) {
+      // Report the "weakest" of the two forms (shuffles dominate cost).
+      VecForm form = fin;
+      if (fout == VecForm::kStridedLanes || fin == VecForm::kStridedLanes) {
+        form = VecForm::kStridedLanes;
+      } else if (fin != fout) {
+        form = VecForm::kWithinCodelet;
+      }
+      return {form, nu};
+    }
+  }
+  return {VecForm::kNone, 1};
+}
+
+std::vector<VecInfo> program_vector_info(const StageList& list,
+                                         idx_t max_nu) {
+  std::vector<VecInfo> out;
+  out.reserve(list.stages.size());
+  for (const auto& s : list.stages) {
+    out.push_back(stage_vector_info(s, max_nu));
+  }
+  return out;
+}
+
+bool fully_vectorizable(const StageList& list, idx_t nu) {
+  for (const auto& s : list.stages) {
+    if (stage_vector_info(s, nu).width < nu) return false;
+  }
+  return true;
+}
+
+}  // namespace spiral::backend

@@ -1,0 +1,24 @@
+#include "baselines/dft_direct.hpp"
+
+#include "spl/twiddle.hpp"
+
+namespace spiral::baselines {
+
+void dft_direct(const cplx* x, cplx* y, idx_t n, int sign) {
+  util::require(x != y, "dft_direct: in-place not supported");
+  for (idx_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (idx_t l = 0; l < n; ++l) {
+      acc += spl::root_of_unity(n, (k * l) % n, sign) * x[l];
+    }
+    y[k] = acc;
+  }
+}
+
+util::cvec dft_direct(const util::cvec& x, int sign) {
+  util::cvec y(x.size());
+  dft_direct(x.data(), y.data(), static_cast<idx_t>(x.size()), sign);
+  return y;
+}
+
+}  // namespace spiral::baselines

@@ -1,0 +1,17 @@
+// Direct O(n^2) DFT: the semantic reference every other implementation is
+// validated against (and the slowest possible baseline).
+#pragma once
+
+#include "util/aligned_vector.hpp"
+#include "util/common.hpp"
+
+namespace spiral::baselines {
+
+/// y = DFT_n x by direct summation. sign = -1 forward, +1 inverse
+/// (unscaled). x and y must not alias.
+void dft_direct(const cplx* x, cplx* y, idx_t n, int sign = -1);
+
+/// Convenience overload on vectors.
+[[nodiscard]] util::cvec dft_direct(const util::cvec& x, int sign = -1);
+
+}  // namespace spiral::baselines

@@ -1,0 +1,36 @@
+#include "baselines/fft_iterative.hpp"
+
+#include "spl/twiddle.hpp"
+
+namespace spiral::baselines {
+
+void fft_iterative_inplace(cplx* a, idx_t n, int sign) {
+  util::require(util::is_pow2(n), "fft_iterative: n must be a power of two");
+  const int k = util::log2_exact(n);
+  // Bit reversal.
+  for (idx_t i = 0; i < n; ++i) {
+    idx_t r = 0;
+    for (int b = 0; b < k; ++b) r |= ((i >> b) & 1) << (k - 1 - b);
+    if (r > i) std::swap(a[i], a[r]);
+  }
+  // Butterfly stages.
+  for (idx_t h = 1; h < n; h *= 2) {
+    for (idx_t base = 0; base < n; base += 2 * h) {
+      for (idx_t j = 0; j < h; ++j) {
+        const cplx w = spl::root_of_unity(2 * h, j, sign);
+        const cplx u = a[base + j];
+        const cplx v = a[base + j + h] * w;
+        a[base + j] = u + v;
+        a[base + j + h] = u - v;
+      }
+    }
+  }
+}
+
+util::cvec fft_iterative(const util::cvec& x, int sign) {
+  util::cvec y = x;
+  fft_iterative_inplace(y.data(), static_cast<idx_t>(y.size()), sign);
+  return y;
+}
+
+}  // namespace spiral::baselines

@@ -1,0 +1,18 @@
+// Textbook sequential FFT: iterative radix-2 with an explicit bit-reversal
+// pass. The "hand-written library" baseline — correct and O(n log n), but
+// with none of the locality or parallelism engineering of the generated
+// programs.
+#pragma once
+
+#include "util/aligned_vector.hpp"
+#include "util/common.hpp"
+
+namespace spiral::baselines {
+
+/// In-place iterative radix-2 FFT. n must be a power of two.
+void fft_iterative_inplace(cplx* a, idx_t n, int sign = -1);
+
+/// Out-of-place convenience wrapper.
+[[nodiscard]] util::cvec fft_iterative(const util::cvec& x, int sign = -1);
+
+}  // namespace spiral::baselines

@@ -1,0 +1,62 @@
+#include "baselines/sixstep.hpp"
+
+#include "backend/fuse.hpp"
+#include "backend/lower.hpp"
+#include "rewrite/breakdown.hpp"
+#include "rewrite/expand.hpp"
+#include "spl/formula.hpp"
+
+namespace spiral::baselines {
+
+using spl::Builder;
+using spl::DFT;
+using spl::I;
+using spl::L;
+using spl::Tw;
+
+spl::FormulaPtr six_step_formula(idx_t n) {
+  util::require(util::is_pow2(n) && n >= 4, "six-step requires 2-power n>=4");
+  const int k = util::log2_exact(n);
+  const idx_t m = idx_t{1} << (k / 2);
+  return rewrite::six_step(m, n / m);
+}
+
+backend::StageList six_step_program(idx_t n, idx_t p) {
+  util::require(util::is_pow2(n) && n >= 4, "six-step requires 2-power n>=4");
+  const int k = util::log2_exact(n);
+  const idx_t m = idx_t{1} << (k / 2);
+  const idx_t r = n / m;
+
+  // The defining property of the six-step algorithm is that its three
+  // stride permutations are EXPLICIT transposition passes, while the two
+  // computation blocks are internally fully optimized (their own inner
+  // recursions are fused, and the twiddle diagonal is merged into the
+  // second block). We therefore lower and fuse each of the five segments
+  // independently and concatenate — fusing across segment boundaries
+  // would turn this into the (better) merged algorithm and defeat the
+  // comparison.
+  auto fused_segment = [&](const spl::FormulaPtr& f) {
+    return backend::lower_fused(rewrite::expand_dfts_balanced(f));
+  };
+
+  std::vector<backend::StageList> parts;
+  parts.push_back(backend::lower(L(n, m)));                      // step 6
+  parts.push_back(fused_segment(Builder::tensor(I(r), DFT(m)))); // step 5
+  parts.push_back(backend::lower(L(n, r)));                      // step 4
+  parts.push_back(fused_segment(Builder::compose(                // steps 3+2
+      {Tw(m, r), Builder::tensor(I(m), DFT(r))})));
+  parts.push_back(backend::lower(L(n, m)));                      // step 1
+
+  backend::StageList list;
+  list.n = n;
+  for (auto& part : parts) {
+    for (auto& s : part.stages) {
+      // Every stage is embarrassingly parallel: contiguous chunks.
+      if (p > 1 && s.iters % p == 0) s.parallel_p = p;
+      list.stages.push_back(std::move(s));
+    }
+  }
+  return list;
+}
+
+}  // namespace spiral::baselines

@@ -1,0 +1,27 @@
+// The six-step FFT (paper eq. (3)) — the traditional shared-memory
+// parallel algorithm the multicore Cooley-Tukey FFT is compared against.
+//
+// Its hallmark is that the three stride permutations are executed as
+// EXPLICIT matrix transpositions (data passes), while the two computation
+// stages (I_r (x) DFT_s) are embarrassingly parallel. That is faithful to
+// [21, 23, 3]: good when memory access is cheap relative to arithmetic,
+// wasteful on cache-based machines — which is what ablation A3 measures.
+#pragma once
+
+#include "backend/stage.hpp"
+#include "spl/formula.hpp"
+
+namespace spiral::baselines {
+
+/// Builds the executable six-step program for DFT_n (n = m * n/m with m ~
+/// sqrt(n)) on p threads:
+///   * permutation stages kept explicit (not fused),
+///   * twiddle diagonal fused into the adjacent compute stage,
+///   * every stage parallelized over p threads in contiguous chunks.
+/// Inner DFT_m / DFT_{n/m} are expanded sequentially to codelets.
+[[nodiscard]] backend::StageList six_step_program(idx_t n, idx_t p);
+
+/// The six-step SPL formula used (for inspection/tests).
+[[nodiscard]] spl::FormulaPtr six_step_formula(idx_t n);
+
+}  // namespace spiral::baselines

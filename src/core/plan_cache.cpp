@@ -1,0 +1,36 @@
+#include "core/plan_cache.hpp"
+
+namespace spiral::core {
+
+std::shared_ptr<FftPlan> PlanCache::dft(idx_t n, const PlannerOptions& opt) {
+  return get_or_create(make_key(0, n, 0, opt),
+                       [&] { return plan_dft(n, opt); });
+}
+
+std::shared_ptr<FftPlan> PlanCache::wht(idx_t n, const PlannerOptions& opt) {
+  return get_or_create(make_key(1, n, 0, opt),
+                       [&] { return plan_wht(n, opt); });
+}
+
+std::shared_ptr<FftPlan> PlanCache::dft_2d(idx_t rows, idx_t cols,
+                                           const PlannerOptions& opt) {
+  return get_or_create(make_key(2, rows, cols, opt),
+                       [&] { return plan_dft_2d(rows, cols, opt); });
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return cache_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(m_);
+  cache_.clear();
+}
+
+PlanCache& global_plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace spiral::core

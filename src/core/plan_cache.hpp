@@ -1,0 +1,72 @@
+// Plan cache ("wisdom"): production FFT libraries amortize planning cost
+// by memoizing plans per (transform, size, configuration). Spiral's
+// generated routines are specialised per (N, p, mu); this cache plays the
+// role of the generated-library dispatch table.
+//
+// Thread-safety: the cache itself is mutex-protected; the returned plans
+// are NOT safe for concurrent execute() calls on the same plan object
+// (they own scratch buffers), matching FFTW's plan semantics.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "core/spiral_fft.hpp"
+
+namespace spiral::core {
+
+class PlanCache {
+ public:
+  /// Returns a cached plan for DFT_n with the given options, creating it
+  /// on first use.
+  std::shared_ptr<FftPlan> dft(idx_t n, const PlannerOptions& opt = {});
+
+  /// Same for the Walsh-Hadamard transform.
+  std::shared_ptr<FftPlan> wht(idx_t n, const PlannerOptions& opt = {});
+
+  /// Same for the 2D DFT.
+  std::shared_ptr<FftPlan> dft_2d(idx_t rows, idx_t cols,
+                                  const PlannerOptions& opt = {});
+
+  /// Number of distinct plans currently cached.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops all cached plans.
+  void clear();
+
+ private:
+  // kind: 0 = DFT, 1 = WHT, 2 = DFT2D (rows in n, cols in n2).
+  using Key = std::tuple<int, idx_t, idx_t, int, idx_t, int, int, int, bool>;
+
+  static Key make_key(int kind, idx_t n, idx_t n2, const PlannerOptions& o) {
+    return {kind,
+            n,
+            n2,
+            o.threads,
+            o.cache_line_complex,
+            static_cast<int>(o.policy),
+            static_cast<int>(o.leaf),
+            o.direction,
+            o.autotune};
+  }
+
+  template <class MakeFn>
+  std::shared_ptr<FftPlan> get_or_create(const Key& key, MakeFn&& make) {
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    std::shared_ptr<FftPlan> plan = make();
+    cache_.emplace(key, plan);
+    return plan;
+  }
+
+  mutable std::mutex m_;
+  std::map<Key, std::shared_ptr<FftPlan>> cache_;
+};
+
+/// Process-wide default cache (convenience for applications).
+[[nodiscard]] PlanCache& global_plan_cache();
+
+}  // namespace spiral::core

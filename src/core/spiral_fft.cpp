@@ -1,0 +1,175 @@
+#include "core/spiral_fft.hpp"
+
+#include <sstream>
+
+#include "backend/lower.hpp"
+#include "rewrite/expand.hpp"
+#include "rewrite/multicore_fft.hpp"
+#include "rewrite/smp_rules.hpp"
+#include "rewrite/vec_rules.hpp"
+#include "search/cost.hpp"
+#include "search/search.hpp"
+#include "spl/printer.hpp"
+
+namespace spiral::core {
+
+namespace {
+
+/// Most balanced Cooley-Tukey split m of n with p*mu | m and p*mu | n/m,
+/// or 0 if none exists.
+idx_t admissible_split(idx_t n, idx_t p, idx_t mu) {
+  idx_t best = 0;
+  int best_gap = 1 << 30;
+  for (idx_t m : rewrite::possible_splits(n)) {
+    if (m % (p * mu) != 0 || (n / m) % (p * mu) != 0) continue;
+    const int gap = std::abs(util::log2_floor(m) - util::log2_floor(n / m));
+    if (best == 0 || gap < best_gap) {
+      best = m;
+      best_gap = gap;
+    }
+  }
+  return best;
+}
+
+rewrite::RuleTreeChooser make_chooser(const PlannerOptions& opt) {
+  if (!opt.autotune) {
+    const idx_t leaf = opt.leaf;
+    return [leaf](idx_t sz) { return rewrite::balanced_ruletree(sz, leaf); };
+  }
+  // DP autotuning over wall-clock time; the DpSearch memo is shared
+  // across all sizes requested by the expansion.
+  auto dp = std::make_shared<search::DpSearch>(search::walltime_cost(),
+                                               opt.leaf);
+  return [dp](idx_t sz) { return dp->best(sz).tree; };
+}
+
+}  // namespace
+
+bool parallel_plan_available(idx_t n, int threads, idx_t mu) {
+  if (threads <= 1) return false;
+  if (!util::is_pow2(n)) return false;
+  return admissible_split(n, static_cast<idx_t>(threads), mu) != 0;
+}
+
+spl::FormulaPtr planner_formula(idx_t n, const PlannerOptions& opt) {
+  util::require(util::is_pow2(n) && n >= 2,
+                "plan_dft: n must be a power of two >= 2");
+  const idx_t p = opt.threads;
+  const idx_t mu = opt.cache_line_complex;
+  auto chooser = make_chooser(opt);
+
+  const idx_t nu = opt.vector_nu;
+  if (opt.threads > 1) {
+    const idx_t m = admissible_split(n, p, mu);
+    if (m != 0) {
+      auto f = rewrite::derive_multicore_ct(n, m, p, mu, nullptr,
+                                            opt.direction);
+      f = rewrite::expand_dfts(f, chooser, opt.leaf);
+      if (nu >= 2 && mu % nu == 0) {
+        // "In tandem": vectorize the per-processor blocks of (14).
+        f = rewrite::vectorize_parallel_blocks(f, nu);
+      }
+      return f;
+    }
+    // No admissible split: fall back to sequential generation (the paper
+    // only claims (14) for (p*mu)^2 | N).
+  }
+  if (nu >= 2) {
+    auto g = rewrite::vectorize(spl::DFT(n, opt.direction), nu);
+    if (!spl::has_vec_tag(g)) {
+      return rewrite::expand_dfts(g, chooser, opt.leaf);
+    }
+    // Preconditions failed (e.g. n too small): scalar fallback.
+  }
+  if (n <= opt.leaf) return spl::DFT(n, opt.direction);
+  return rewrite::expand_dfts(spl::DFT(n, opt.direction), chooser, opt.leaf);
+}
+
+FftPlan::FftPlan(spl::FormulaPtr formula, backend::StageList stages,
+                 const PlannerOptions& opt, std::string transform_name)
+    : n_(stages.n),
+      threads_(opt.threads),
+      name_(std::move(transform_name)),
+      formula_(std::move(formula)) {
+  threading::ThreadPool* pool = nullptr;
+  if (opt.threads > 1 && opt.policy == backend::ExecPolicy::kThreadPool) {
+    pool_ = std::make_unique<threading::ThreadPool>(opt.threads);
+    pool = pool_.get();
+  }
+  program_ = std::make_unique<backend::Program>(std::move(stages),
+                                                opt.policy, pool);
+}
+
+void FftPlan::execute(const cplx* x, cplx* y) { program_->execute(x, y); }
+
+std::string FftPlan::describe() const {
+  std::ostringstream os;
+  os << name_ << "_" << n_ << " ["
+     << (parallel() ? "parallel" : "sequential")
+     << ", " << backend::to_string(program_->policy()) << ", threads="
+     << threads_ << "]\n";
+  os << "formula: " << spl::to_string(formula_) << "\n";
+  os << program_->stages().summary();
+  return os.str();
+}
+
+std::unique_ptr<FftPlan> plan_dft(idx_t n, const PlannerOptions& opt) {
+  auto f = planner_formula(n, opt);
+  auto list = backend::lower_fused(f);
+  return std::make_unique<FftPlan>(std::move(f), std::move(list), opt);
+}
+
+std::unique_ptr<FftPlan> plan_wht(idx_t n, const PlannerOptions& opt) {
+  util::require(util::is_pow2(n) && n >= 2,
+                "plan_wht: n must be a power of two >= 2");
+  spl::FormulaPtr f = spl::WHT(n);
+  if (opt.threads > 1) {
+    auto g = rewrite::parallelize(f, opt.threads, opt.cache_line_complex);
+    if (!spl::has_smp_tag(g)) f = g;  // else: inadmissible, stay sequential
+  }
+  f = rewrite::expand_whts(f, opt.leaf);
+  auto list = backend::lower_fused(f);
+  return std::make_unique<FftPlan>(std::move(f), std::move(list), opt,
+                                   "WHT");
+}
+
+std::unique_ptr<FftPlan> plan_dft_2d(idx_t rows, idx_t cols,
+                                     const PlannerOptions& opt) {
+  util::require(util::is_pow2(rows) && util::is_pow2(cols) && rows >= 2 &&
+                    cols >= 2,
+                "plan_dft_2d: rows and cols must be powers of two >= 2");
+  // Row-column formula: the 2D DFT is the tensor product of the 1D DFTs
+  // (paper, Section 2.2: "multi-dimensional transforms ... are just
+  // tensor products of their one-dimensional counterparts").
+  spl::FormulaPtr f = spl::Builder::compose({
+      spl::Builder::tensor(spl::DFT(rows, opt.direction), spl::I(cols)),
+      spl::Builder::tensor(spl::I(rows), spl::DFT(cols, opt.direction)),
+  });
+  if (opt.threads > 1) {
+    auto g = rewrite::parallelize(f, opt.threads, opt.cache_line_complex);
+    if (!spl::has_smp_tag(g)) f = g;  // else: inadmissible, stay sequential
+  }
+  f = rewrite::expand_dfts(f, make_chooser(opt), opt.leaf);
+  auto list = backend::lower_fused(f);
+  return std::make_unique<FftPlan>(std::move(f), std::move(list), opt,
+                                   "DFT2D");
+}
+
+std::unique_ptr<FftPlan> plan_batch_dft(idx_t n, idx_t batch,
+                                        const PlannerOptions& opt) {
+  util::require(util::is_pow2(n) && n >= 2,
+                "plan_batch_dft: n must be a power of two >= 2");
+  util::require(batch >= 1, "plan_batch_dft: batch must be >= 1");
+  spl::FormulaPtr f =
+      spl::Builder::tensor(spl::I(batch), spl::DFT(n, opt.direction));
+  if (opt.threads > 1) {
+    auto g = rewrite::parallelize(f, opt.threads, opt.cache_line_complex);
+    if (!spl::has_smp_tag(g)) f = g;  // else inadmissible: sequential
+  }
+  f = rewrite::expand_dfts(f, make_chooser(opt), opt.leaf);
+  auto list = backend::lower_fused(f);
+  return std::make_unique<FftPlan>(std::move(f), std::move(list), opt,
+                                   "BatchDFT");
+}
+
+}  // namespace spiral::core

@@ -1,0 +1,53 @@
+#include "machine/cache.hpp"
+
+namespace spiral::machine {
+
+CacheModel::CacheModel(const CacheConfig& cfg, idx_t line_bytes) {
+  const idx_t lines = std::max<idx_t>(1, cfg.size_bytes / line_bytes);
+  ways_ = std::max(1, cfg.associativity);
+  sets_ = std::max<idx_t>(1, lines / ways_);
+  // Power-of-two set count for cheap indexing.
+  while ((sets_ & (sets_ - 1)) != 0) --sets_;
+  tags_.assign(static_cast<std::size_t>(sets_ * ways_), line_t{-1});
+  age_.assign(tags_.size(), 0);
+}
+
+bool CacheModel::access(line_t line) {
+  const idx_t set = static_cast<idx_t>(line & (sets_ - 1));
+  const std::size_t base = static_cast<std::size_t>(set * ways_);
+  ++clock_;
+  int victim = 0;
+  std::uint32_t oldest = age_[base];
+  for (int w = 0; w < ways_; ++w) {
+    if (tags_[base + static_cast<std::size_t>(w)] == line) {
+      age_[base + static_cast<std::size_t>(w)] = clock_;
+      return true;
+    }
+    if (age_[base + static_cast<std::size_t>(w)] < oldest) {
+      oldest = age_[base + static_cast<std::size_t>(w)];
+      victim = w;
+    }
+  }
+  tags_[base + static_cast<std::size_t>(victim)] = line;
+  age_[base + static_cast<std::size_t>(victim)] = clock_;
+  return false;
+}
+
+void CacheModel::invalidate(line_t line) {
+  const idx_t set = static_cast<idx_t>(line & (sets_ - 1));
+  const std::size_t base = static_cast<std::size_t>(set * ways_);
+  for (int w = 0; w < ways_; ++w) {
+    if (tags_[base + static_cast<std::size_t>(w)] == line) {
+      tags_[base + static_cast<std::size_t>(w)] = -1;
+      age_[base + static_cast<std::size_t>(w)] = 0;
+    }
+  }
+}
+
+void CacheModel::clear() {
+  std::fill(tags_.begin(), tags_.end(), line_t{-1});
+  std::fill(age_.begin(), age_.end(), 0u);
+  clock_ = 0;
+}
+
+}  // namespace spiral::machine

@@ -1,0 +1,59 @@
+// Set-associative LRU cache model at cache-line granularity, plus the
+// line-ownership directory used to detect coherence traffic and false
+// sharing.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "machine/config.hpp"
+
+namespace spiral::machine {
+
+/// Line address: byte address / line size. The simulator namespaces
+/// buffers (input, output, scratch, twiddles) into disjoint address
+/// ranges, so a plain integer suffices.
+using line_t = std::int64_t;
+
+/// Set-associative cache with LRU replacement, tracking tags only.
+class CacheModel {
+ public:
+  CacheModel(const CacheConfig& cfg, idx_t line_bytes);
+
+  /// Touches a line; returns true on hit. On miss the line is installed
+  /// (inclusive model, victim silently dropped).
+  bool access(line_t line);
+
+  /// Removes a line if present (coherence invalidation).
+  void invalidate(line_t line);
+
+  void clear();
+
+  [[nodiscard]] idx_t num_sets() const noexcept { return sets_; }
+  [[nodiscard]] int ways() const noexcept { return ways_; }
+
+ private:
+  idx_t sets_;
+  int ways_;
+  std::vector<line_t> tags_;       // sets_ * ways_, -1 = empty
+  std::vector<std::uint32_t> age_; // LRU stamps
+  std::uint32_t clock_ = 0;
+};
+
+/// Per-line ownership directory for coherence/false-sharing accounting.
+struct LineState {
+  int last_writer = -1;       ///< core that last wrote the line
+  std::int64_t writer_stage = -1;  ///< stage id of that write
+  std::int64_t writer_elem = -1;   ///< element index of that write
+};
+
+class Directory {
+ public:
+  LineState& state(line_t line) { return map_[line]; }
+  void clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<line_t, LineState> map_;
+};
+
+}  // namespace spiral::machine

@@ -1,0 +1,99 @@
+#include "machine/config.hpp"
+
+namespace spiral::machine {
+
+MachineConfig core_duo() {
+  MachineConfig m;
+  m.name = "coreduo";
+  m.description = "2.0 GHz Intel Core Duo (2 cores, shared 2MB L2, laptop)";
+  m.cores = 2;
+  m.ghz = 2.0;
+  m.line_bytes = 64;
+  m.l1 = {32 * 1024, 8};
+  m.l2 = {2 * 1024 * 1024, 8};
+  m.l2_shared = true;  // cores synchronize through the shared L2
+  m.l2_hit_cycles = 14.0;
+  m.mem_cycles = 200.0;
+  m.coherence_cycles = 40.0;   // on-chip, through the shared L2: cheap
+  m.false_sharing_cycles = 80.0;
+  m.barrier_cycles = 250.0;
+  m.flop_cycles = 0.35;
+  return m;
+}
+
+MachineConfig pentium_d() {
+  MachineConfig m;
+  m.name = "pentiumd";
+  m.description =
+      "3.6 GHz Intel Pentium D (2 cores on one die, bus coherence, desktop)";
+  m.cores = 2;
+  m.ghz = 3.6;
+  m.line_bytes = 64;
+  m.l1 = {16 * 1024, 8};
+  m.l2 = {1024 * 1024, 8};
+  m.l2_shared = false;  // private L2s, snoop over the front-side bus
+  m.l2_hit_cycles = 20.0;
+  m.mem_cycles = 350.0;
+  m.coherence_cycles = 400.0;  // bus round trip: expensive
+  m.false_sharing_cycles = 600.0;
+  m.barrier_cycles = 1200.0;
+  m.flop_cycles = 0.40;  // long pipeline, lower IPC on this workload
+  return m;
+}
+
+MachineConfig opteron() {
+  MachineConfig m;
+  m.name = "opteron";
+  m.description =
+      "2.2 GHz AMD Opteron dual-core x2 (4 cores, private caches, fast "
+      "on-chip cache coherency protocol, workstation)";
+  m.cores = 4;
+  m.ghz = 2.2;
+  m.line_bytes = 64;
+  m.l1 = {64 * 1024, 2};
+  m.l2 = {1024 * 1024, 16};
+  m.l2_shared = false;
+  m.l2_hit_cycles = 12.0;
+  m.mem_cycles = 220.0;
+  m.coherence_cycles = 120.0;  // on-chip MOESI between paired cores,
+                               // HyperTransport between chips: moderate
+  m.false_sharing_cycles = 200.0;
+  m.barrier_cycles = 500.0;
+  m.flop_cycles = 0.35;
+  return m;
+}
+
+MachineConfig xeon_mp() {
+  MachineConfig m;
+  m.name = "xeonmp";
+  m.description =
+      "2.8 GHz Intel Xeon MP x4 (4 processors, front-side bus, rackmount "
+      "server)";
+  m.cores = 4;
+  m.ghz = 2.8;
+  m.line_bytes = 64;
+  m.l1 = {16 * 1024, 8};
+  m.l2 = {512 * 1024, 8};
+  m.l2_shared = false;
+  m.l2_hit_cycles = 18.0;
+  m.mem_cycles = 400.0;
+  m.coherence_cycles = 500.0;  // all traffic over the shared bus
+  m.false_sharing_cycles = 800.0;
+  m.barrier_cycles = 1800.0;
+  m.flop_cycles = 0.40;
+  return m;
+}
+
+MachineConfig machine_by_name(const std::string& name) {
+  for (const auto& m : all_machines()) {
+    if (m.name == name) return m;
+  }
+  throw std::invalid_argument("unknown machine: " + name +
+                              " (try coreduo|pentiumd|opteron|xeonmp)");
+}
+
+std::vector<MachineConfig> all_machines() {
+  return {core_duo(), opteron(), pentium_d(), xeon_mp()};
+}
+
+}  // namespace spiral::machine

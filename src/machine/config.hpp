@@ -1,0 +1,84 @@
+// Shared-memory machine models.
+//
+// The paper evaluates on four physical platforms (Section 4). This
+// container has a single CPU core, so the figure reproduction executes
+// the lowered programs through a deterministic machine simulator instead
+// (see DESIGN.md, "Hardware substitution"). Each platform is described by
+// the parameters that drive the paper's relative results: core count p,
+// cache line length mu, cache sizes/sharing, the cost of cache-to-cache
+// coherence transfers (fast on-chip for CMPs, slow bus for SMPs), and
+// synchronization costs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace spiral::machine {
+
+/// One cache level (sizes in bytes).
+struct CacheConfig {
+  idx_t size_bytes = 0;
+  int associativity = 8;
+};
+
+/// A shared-memory platform model.
+struct MachineConfig {
+  std::string name;
+  std::string description;
+  int cores = 1;
+  double ghz = 1.0;           ///< core clock, cycles -> seconds
+  idx_t line_bytes = 64;      ///< cache line size (bytes)
+
+  CacheConfig l1;             ///< private per core
+  CacheConfig l2;             ///< shared or per-core, see l2_shared
+  bool l2_shared = false;
+
+  // Per-access costs in core cycles.
+  double l1_hit_cycles = 1.0;
+  double l2_hit_cycles = 12.0;
+  double mem_cycles = 250.0;
+  /// Latency factor for memory accesses the hardware prefetcher covers
+  /// (sequential miss streams): effective cost = mem_cycles * factor.
+  double prefetch_factor = 0.3;
+  /// Bus/memory-controller occupancy per cache line transferred from
+  /// memory. All cores share this bandwidth: a stage cannot finish faster
+  /// than (lines transferred) * this value, which caps parallel speedup
+  /// for out-of-cache sizes (the flattening of Figure 3's right side).
+  double bus_cycles_per_line = 14.0;
+  /// Cache-to-cache transfer on a coherence miss (read or write of a line
+  /// dirty in another core's cache). Small for on-chip CMPs, large for
+  /// bus-based SMPs — the key parameter behind the paper's observation
+  /// that multicores parallelize profitably at much smaller sizes.
+  double coherence_cycles = 100.0;
+  /// Extra penalty when the coherence transfer is caused by false sharing
+  /// (two cores writing disjoint parts of one line in the same stage):
+  /// the line ping-pongs, so the cost is charged on every such write.
+  double false_sharing_cycles = 150.0;
+
+  double flop_cycles = 0.35;        ///< cycles per real flop (SSE2-ish)
+  double barrier_cycles = 200.0;    ///< per inter-stage synchronization
+  /// Thread start/join cost per *spawned* thread per parallel region when
+  /// no persistent pool is available (FFTW 3.1's default mode): a region
+  /// on p threads pays (p-1) * thread_spawn_cycles.
+  double thread_spawn_cycles = 6e4;
+
+  /// Cache line length in complex<double> elements (the paper's mu).
+  [[nodiscard]] idx_t mu() const { return line_bytes / 16; }
+};
+
+/// The four platforms of the paper's Figure 3.
+[[nodiscard]] MachineConfig core_duo();    ///< 2.0 GHz Intel Core Duo
+[[nodiscard]] MachineConfig pentium_d();   ///< 3.6 GHz Intel Pentium D
+[[nodiscard]] MachineConfig opteron();     ///< 2.2 GHz AMD Opteron dual-dual
+[[nodiscard]] MachineConfig xeon_mp();     ///< 2.8 GHz Intel Xeon MP
+
+/// Lookup by name ("coreduo", "pentiumd", "opteron", "xeonmp").
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] MachineConfig machine_by_name(const std::string& name);
+
+/// All four paper machines.
+[[nodiscard]] std::vector<MachineConfig> all_machines();
+
+}  // namespace spiral::machine

@@ -1,0 +1,108 @@
+// Deterministic execution-driven simulator for lowered FFT programs.
+//
+// The simulator replays the exact memory-access streams of a StageList
+// (the same index maps the real executor uses) through per-core cache
+// models and a line-ownership directory, charging cycles for arithmetic,
+// cache misses, coherence transfers (cache-to-cache), false-sharing
+// line ping-pong, barriers and (optionally) thread start-up. It stands in
+// for the paper's four physical evaluation machines; see DESIGN.md.
+//
+// Everything is deterministic: same program + same machine = same result.
+#pragma once
+
+#include <array>
+
+#include "backend/stage.hpp"
+#include "machine/cache.hpp"
+#include "machine/config.hpp"
+
+namespace spiral::machine {
+
+/// How the simulated library runs the program.
+struct SimOptions {
+  /// Number of threads the library uses (1 = sequential execution:
+  /// parallel annotations ignored).
+  int threads = 1;
+  /// Persistent thread pool (Spiral's generated code) vs. spawning
+  /// threads per parallel region (FFTW 3.1's default, whose experimental
+  /// thread pooling was off / broken per the paper, Section 4).
+  bool thread_pool = true;
+  /// Warm-start: keep caches from a previous run (repeated-execution
+  /// timing, the steady state the paper measures). When false, caches
+  /// start cold.
+  bool warm = true;
+  /// Multiplier on synchronization costs (barriers/spawns). 1.0 models the
+  /// generated low-latency spin barriers; the OpenMP backend is modeled
+  /// with a larger factor (general-purpose runtime barriers).
+  double sync_scale = 1.0;
+  /// SIMD vector width in complex elements (1 = scalar). A stage whose
+  /// index maps are nu-vectorizable (backend::stage_vector_info) has its
+  /// arithmetic cycles divided by min(nu, simd_complex) — the paper's
+  /// "in tandem with the short vector Cooley-Tukey FFT" composition.
+  idx_t simd_complex = 1;
+};
+
+/// Per-stage simulation record.
+struct StageSim {
+  double cycles = 0.0;
+  std::int64_t l1_misses = 0;
+  std::int64_t mem_lines = 0;  ///< lines transferred from memory
+  std::int64_t coherence_transfers = 0;
+  std::int64_t false_sharing_events = 0;
+  bool bandwidth_bound = false;  ///< bus occupancy exceeded compute time
+  int parallel_used = 1;
+};
+
+/// Aggregate result.
+struct SimResult {
+  double cycles = 0.0;
+  double seconds = 0.0;
+  double pseudo_mflops = 0.0;  ///< 5 N log2 N / runtime(us), as in Fig. 3
+
+  std::int64_t accesses = 0;
+  std::int64_t l1_misses = 0;
+  std::int64_t l2_misses = 0;
+  std::int64_t coherence_transfers = 0;
+  std::int64_t false_sharing_events = 0;
+  double barrier_cycles = 0.0;
+  double spawn_cycles = 0.0;
+  std::vector<StageSim> per_stage;
+};
+
+/// Simulates one execution of the program on the machine.
+/// To model steady-state (repeated) execution, construct a Simulator and
+/// call run() twice, measuring the second run.
+class Simulator {
+ public:
+  Simulator(const MachineConfig& cfg, const SimOptions& opt);
+
+  /// Simulates one call of the program; caches persist across calls.
+  SimResult run(const backend::StageList& program);
+
+  /// Steady-state measurement: runs the program twice (warm-up + timed).
+  SimResult run_steady(const backend::StageList& program);
+
+  const MachineConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Access;
+  void touch(int core, line_t line, bool write, std::int64_t stage_id,
+             double& cost, StageSim& ss, SimResult& out);
+
+  MachineConfig cfg_;
+  SimOptions opt_;
+  std::vector<CacheModel> l1_;   // per core
+  std::vector<CacheModel> l2_;   // per core, or a single shared one
+  Directory dir_;
+  std::int64_t stage_counter_ = 0;
+  /// Per-core recent memory-miss lines (prefetcher stream detection).
+  std::vector<std::array<line_t, 128>> miss_streams_;
+  std::vector<int> miss_slot_rr_;  // round-robin replacement pointer
+};
+
+/// Convenience wrapper: steady-state simulation of `program` on `cfg`.
+[[nodiscard]] SimResult simulate(const backend::StageList& program,
+                                 const MachineConfig& cfg,
+                                 const SimOptions& opt);
+
+}  // namespace spiral::machine

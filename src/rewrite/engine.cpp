@@ -1,0 +1,78 @@
+#include "rewrite/engine.hpp"
+
+#include <stdexcept>
+
+#include "spl/printer.hpp"
+
+namespace spiral::rewrite {
+
+using spl::Builder;
+using spl::Kind;
+
+FormulaPtr with_children(const FormulaPtr& f,
+                         std::vector<FormulaPtr> children) {
+  switch (f->kind) {
+    case Kind::kCompose:
+      return Builder::compose(std::move(children));
+    case Kind::kTensor:
+      util::require(children.size() == 2, "tensor needs two children");
+      return Builder::tensor(children[0], children[1]);
+    case Kind::kDirectSum:
+      return Builder::direct_sum(std::move(children));
+    case Kind::kSmpTag:
+      util::require(children.size() == 1, "smp tag needs one child");
+      return Builder::smp(f->p, f->mu, children[0]);
+    case Kind::kTensorPar:
+      util::require(children.size() == 1, "tensor_par needs one child");
+      return Builder::tensor_par(f->p, children[0]);
+    case Kind::kDirectSumPar:
+      return Builder::direct_sum_par(std::move(children));
+    case Kind::kPermBar:
+      util::require(children.size() == 1, "perm_bar needs one child");
+      return Builder::perm_bar(children[0], f->mu);
+    case Kind::kVecTag:
+      util::require(children.size() == 1, "vec tag needs one child");
+      return Builder::vec(f->mu, children[0]);
+    case Kind::kVecTensor:
+      util::require(children.size() == 1, "vec_tensor needs one child");
+      return Builder::vec_tensor(children[0], f->mu);
+    default:
+      util::require(children.empty(), "leaf node cannot take children");
+      return f;
+  }
+}
+
+FormulaPtr rewrite_step(const FormulaPtr& f, const RuleSet& rules,
+                        Trace* trace) {
+  // Try rules at this node first (outermost).
+  for (const auto& rule : rules) {
+    if (FormulaPtr r = rule.try_apply(f)) {
+      if (trace != nullptr) {
+        trace->push_back({rule.name, spl::to_string(f), spl::to_string(r)});
+      }
+      return r;
+    }
+  }
+  // Otherwise descend, leftmost child first.
+  for (std::size_t i = 0; i < f->arity(); ++i) {
+    if (FormulaPtr r = rewrite_step(f->child(i), rules, trace)) {
+      std::vector<FormulaPtr> kids = f->children;
+      kids[i] = std::move(r);
+      return with_children(f, std::move(kids));
+    }
+  }
+  return nullptr;
+}
+
+FormulaPtr rewrite_fixpoint(FormulaPtr f, const RuleSet& rules, Trace* trace,
+                            int max_steps) {
+  for (int step = 0; step < max_steps; ++step) {
+    FormulaPtr next = rewrite_step(f, rules, trace);
+    if (!next) return f;
+    f = std::move(next);
+  }
+  throw std::runtime_error(
+      "rewrite_fixpoint: rule set did not terminate within step budget");
+}
+
+}  // namespace spiral::rewrite

@@ -1,0 +1,33 @@
+// The rewriting engine: applies a rule set to a formula tree until no rule
+// matches anywhere (fixpoint), recording a derivation trace.
+//
+// Strategy: repeated top-down, leftmost-outermost single-step rewriting.
+// This mirrors how Spiral's GAP implementation applies its parallelization
+// rule set: tags flow downward (rule (6) splits a tagged product into
+// tagged factors), so outermost-first termination is natural, and each of
+// the Table 1 rules strictly eliminates or shrinks a tag, guaranteeing
+// termination.
+#pragma once
+
+#include "rewrite/rule.hpp"
+
+namespace spiral::rewrite {
+
+/// Rebuilds a node of the same kind/parameters with new children.
+/// Used by the engine to splice rewritten subtrees back into the tree.
+[[nodiscard]] FormulaPtr with_children(const FormulaPtr& f,
+                                       std::vector<FormulaPtr> children);
+
+/// Applies at most one rule at the outermost matching position.
+/// Returns nullptr when no rule matches anywhere in the tree.
+[[nodiscard]] FormulaPtr rewrite_step(const FormulaPtr& f,
+                                      const RuleSet& rules,
+                                      Trace* trace = nullptr);
+
+/// Rewrites to fixpoint. Throws std::runtime_error if `max_steps` rule
+/// applications do not reach a fixpoint (non-terminating rule set).
+[[nodiscard]] FormulaPtr rewrite_fixpoint(FormulaPtr f, const RuleSet& rules,
+                                          Trace* trace = nullptr,
+                                          int max_steps = 100000);
+
+}  // namespace spiral::rewrite

@@ -1,0 +1,44 @@
+#include "rewrite/expand.hpp"
+
+#include "rewrite/engine.hpp"
+#include "rewrite/simplify.hpp"
+
+namespace spiral::rewrite {
+
+using spl::Kind;
+
+FormulaPtr expand_dfts(const FormulaPtr& f, const RuleTreeChooser& chooser,
+                       idx_t leaf_limit) {
+  if (f->kind == Kind::kDFT && f->n > leaf_limit) {
+    RuleTreePtr tree = chooser(f->n);
+    util::require(tree != nullptr && tree->n == f->n,
+                  "expand_dfts: chooser returned wrong ruletree");
+    // The ruletree expansion may itself contain DFT leaves above the limit
+    // (a chooser may stop early); expand those recursively too.
+    FormulaPtr g = formula_from_ruletree(tree, f->root_sign);
+    return expand_dfts(g, chooser, leaf_limit);
+  }
+  if (f->arity() == 0) return f;
+  std::vector<FormulaPtr> kids;
+  kids.reserve(f->arity());
+  bool changed = false;
+  for (const auto& c : f->children) {
+    FormulaPtr nc = expand_dfts(c, chooser, leaf_limit);
+    changed = changed || (nc != c);
+    kids.push_back(std::move(nc));
+  }
+  if (!changed) return f;
+  return with_children(f, std::move(kids));
+}
+
+FormulaPtr expand_dfts_default(const FormulaPtr& f, idx_t leaf) {
+  return expand_dfts(
+      f, [leaf](idx_t n) { return default_ruletree(n, leaf); }, leaf);
+}
+
+FormulaPtr expand_dfts_balanced(const FormulaPtr& f, idx_t leaf) {
+  return expand_dfts(
+      f, [leaf](idx_t n) { return balanced_ruletree(n, leaf); }, leaf);
+}
+
+}  // namespace spiral::rewrite

@@ -1,0 +1,34 @@
+// Expansion of remaining DFT nonterminals into codelet-sized leaves.
+//
+// After the parallelization rewriting, the formula still contains DFT_m /
+// DFT_n nonterminals inside the per-processor blocks (see formula (14)).
+// These are expanded with *sequential* Cooley-Tukey ruletrees — each block
+// runs on one processor, so no further parallelization applies. The
+// chooser callback lets the search engine (src/search/) control the
+// ruletree used for every size that appears.
+#pragma once
+
+#include <functional>
+
+#include "rewrite/breakdown.hpp"
+
+namespace spiral::rewrite {
+
+/// Maps a DFT size to the ruletree that should expand it.
+using RuleTreeChooser = std::function<RuleTreePtr(idx_t n)>;
+
+/// Replaces every DFT_n with n > leaf_limit in `f` by the expansion of
+/// chooser(n); sizes at or below leaf_limit stay as codelet leaves.
+[[nodiscard]] FormulaPtr expand_dfts(const FormulaPtr& f,
+                                     const RuleTreeChooser& chooser,
+                                     idx_t leaf_limit = kMaxCodeletSize);
+
+/// Expands every DFT with the default (right-expanded) ruletree.
+[[nodiscard]] FormulaPtr expand_dfts_default(const FormulaPtr& f,
+                                             idx_t leaf = kMaxCodeletSize);
+
+/// Expands every DFT with the balanced (sqrt-split) ruletree.
+[[nodiscard]] FormulaPtr expand_dfts_balanced(const FormulaPtr& f,
+                                              idx_t leaf = kMaxCodeletSize);
+
+}  // namespace spiral::rewrite

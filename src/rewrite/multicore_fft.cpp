@@ -1,0 +1,57 @@
+#include "rewrite/multicore_fft.hpp"
+
+#include "rewrite/breakdown.hpp"
+#include "rewrite/simplify.hpp"
+#include "rewrite/smp_rules.hpp"
+
+namespace spiral::rewrite {
+
+using spl::Builder;
+using spl::DFT;
+using spl::I;
+using spl::L;
+using util::require;
+
+FormulaPtr multicore_ct_reference(idx_t m, idx_t n, idx_t p, idx_t mu,
+                                  int root_sign) {
+  require(m % (p * mu) == 0, "multicore CT requires p*mu | m");
+  require(n % (p * mu) == 0, "multicore CT requires p*mu | n");
+  const idx_t mn = m * n;
+
+  auto bar = [&](idx_t big, idx_t stride, idx_t reps) {
+    // ((L^{big}_stride (x) I_{reps/mu}) (x)- I_mu), with I_1 simplified.
+    return Builder::perm_bar(
+        simplify(Builder::tensor(L(big, stride), I(reps / mu))), mu);
+  };
+
+  std::vector<FormulaPtr> segs;
+  segs.reserve(static_cast<std::size_t>(p));
+  for (idx_t i = 0; i < p; ++i) {
+    segs.push_back(
+        Builder::diag_seg(m, n, i * (mn / p), mn / p, root_sign));
+  }
+
+  return Builder::compose({
+      bar(m * p, m, n / p),
+      Builder::tensor_par(
+          p, simplify(Builder::tensor(DFT(m, root_sign), I(n / p)))),
+      bar(m * p, p, n / p),
+      Builder::direct_sum_par(std::move(segs)),
+      Builder::tensor_par(
+          p, simplify(Builder::tensor(I(m / p), DFT(n, root_sign)))),
+      Builder::tensor_par(p, L(mn / p, m / p)),
+      bar(p * n, p, m / p),
+  });
+}
+
+FormulaPtr derive_multicore_ct(idx_t N, idx_t m, idx_t p, idx_t mu,
+                               Trace* trace, int root_sign) {
+  require(N % m == 0, "derive_multicore_ct: m must divide N");
+  const idx_t n = N / m;
+  require(m % (p * mu) == 0, "derive_multicore_ct: p*mu | m required");
+  require(n % (p * mu) == 0, "derive_multicore_ct: p*mu | n required");
+  FormulaPtr ct = cooley_tukey(m, n, root_sign);
+  return parallelize(ct, p, mu, trace);
+}
+
+}  // namespace spiral::rewrite

@@ -1,0 +1,33 @@
+// The multicore Cooley-Tukey FFT — formula (14) of the paper — both
+// derived automatically through the rewriting system and built directly
+// as a structural reference for testing.
+#pragma once
+
+#include "rewrite/rule.hpp"
+
+namespace spiral::rewrite {
+
+/// Builds formula (14) for DFT_{m*n} on p processors with cache line mu,
+/// exactly as printed in the paper's Figure 2:
+///
+///   DFT_{mn} -> ((L^{mp}_m (x) I_{n/p mu}) (x)- I_mu)
+///               (I_p (x)|| (DFT_m (x) I_{n/p}))
+///               ((L^{mp}_p (x) I_{n/p mu}) (x)- I_mu)
+///               ((+)||_{i<p} D^i_{m,n})
+///               (I_p (x)|| (I_{m/p} (x) DFT_n))
+///               (I_p (x)|| L^{mn/p}_{m/p})
+///               ((L^{pn}_p (x) I_{m/p mu}) (x)- I_mu)
+///
+/// Requires p*mu | m and p*mu | n.
+[[nodiscard]] FormulaPtr multicore_ct_reference(idx_t m, idx_t n, idx_t p,
+                                                idx_t mu, int root_sign = -1);
+
+/// Derives the multicore CT FFT for DFT_N through the rewriting engine:
+/// applies Cooley-Tukey with split m, tags with smp(p,mu), rewrites with
+/// the Table 1 rules to fixpoint. `trace` (optional) receives the
+/// derivation steps. Requires p*mu | m and p*mu | N/m.
+[[nodiscard]] FormulaPtr derive_multicore_ct(idx_t N, idx_t m, idx_t p,
+                                             idx_t mu, Trace* trace = nullptr,
+                                             int root_sign = -1);
+
+}  // namespace spiral::rewrite

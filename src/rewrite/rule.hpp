@@ -1,0 +1,43 @@
+// Rule framework for the Spiral-style rewriting system (Section 2.3/3.1).
+//
+// A rule is a named partial function on formulas: it either returns the
+// rewritten formula or nullptr when it does not match (wrong construct or
+// violated precondition — e.g. "n/p on the right-hand side implies p | n").
+// Rule sets are ordered; the engine tries rules in order at every node.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spl/formula.hpp"
+
+namespace spiral::rewrite {
+
+using spl::FormulaPtr;
+
+/// One rewrite rule: lhs pattern + preconditions + rhs construction,
+/// folded into a single matcher function.
+struct Rule {
+  std::string name;
+  std::function<FormulaPtr(const FormulaPtr&)> match;
+
+  /// Applies the rule at this node only; nullptr when not applicable.
+  [[nodiscard]] FormulaPtr try_apply(const FormulaPtr& f) const {
+    return match(f);
+  }
+};
+
+/// Ordered collection of rules.
+using RuleSet = std::vector<Rule>;
+
+/// One step of a derivation trace: which rule fired and on what subformula.
+struct TraceEntry {
+  std::string rule_name;
+  std::string before;  ///< rendering of the matched subformula
+  std::string after;   ///< rendering of the replacement
+};
+
+using Trace = std::vector<TraceEntry>;
+
+}  // namespace spiral::rewrite

@@ -1,0 +1,76 @@
+#include "rewrite/simplify.hpp"
+
+#include "rewrite/engine.hpp"
+
+namespace spiral::rewrite {
+
+using spl::Builder;
+using spl::Kind;
+
+RuleSet simplification_rules() {
+  RuleSet rules;
+
+  rules.push_back(Rule{
+      "tensor-unit-left",  // I_1 (x) A -> A
+      [](const FormulaPtr& f) -> FormulaPtr {
+        if (f->kind != Kind::kTensor) return nullptr;
+        const auto& a = f->child(0);
+        if (a->kind == Kind::kIdentity && a->n == 1) return f->child(1);
+        return nullptr;
+      }});
+
+  rules.push_back(Rule{
+      "tensor-unit-right",  // A (x) I_1 -> A
+      [](const FormulaPtr& f) -> FormulaPtr {
+        if (f->kind != Kind::kTensor) return nullptr;
+        const auto& b = f->child(1);
+        if (b->kind == Kind::kIdentity && b->n == 1) return f->child(0);
+        return nullptr;
+      }});
+
+  rules.push_back(Rule{
+      "tensor-identities",  // I_a (x) I_b -> I_{ab}
+      [](const FormulaPtr& f) -> FormulaPtr {
+        if (f->kind != Kind::kTensor) return nullptr;
+        if (f->child(0)->kind == Kind::kIdentity &&
+            f->child(1)->kind == Kind::kIdentity) {
+          return Builder::identity(f->size);
+        }
+        return nullptr;
+      }});
+
+  rules.push_back(Rule{
+      "stride-perm-trivial",  // L^n_1 = L^n_n = I_n
+      [](const FormulaPtr& f) -> FormulaPtr {
+        if (f->kind != Kind::kStridePerm) return nullptr;
+        if (f->stride == 1 || f->stride == f->size) {
+          return Builder::identity(f->size);
+        }
+        return nullptr;
+      }});
+
+  rules.push_back(Rule{
+      "smp-identity",  // smp(p,mu){I_n} -> I_n
+      [](const FormulaPtr& f) -> FormulaPtr {
+        if (f->kind != Kind::kSmpTag) return nullptr;
+        if (f->child(0)->kind == Kind::kIdentity) return f->child(0);
+        return nullptr;
+      }});
+
+  rules.push_back(Rule{
+      "dft-2-base",  // DFT_2 -> F_2 (butterfly base case)
+      [](const FormulaPtr& f) -> FormulaPtr {
+        if (f->kind == Kind::kDFT && f->n == 2 && f->root_sign == -1) {
+          return Builder::f2();
+        }
+        return nullptr;
+      }});
+
+  return rules;
+}
+
+FormulaPtr simplify(FormulaPtr f) {
+  return rewrite_fixpoint(std::move(f), simplification_rules());
+}
+
+}  // namespace spiral::rewrite

@@ -1,0 +1,22 @@
+// Algebraic simplification rules, applied after breakdown/parallelization
+// rules to normalize formulas:
+//
+//   I_1 (x) A -> A          A (x) I_1 -> A        I_a (x) I_b -> I_{ab}
+//   L^n_1 -> I_n            L^n_n -> I_n          smp(p,mu){I_n} -> I_n
+//   compose with a single factor -> the factor (handled by the builder)
+//
+// These keep the derived multicore FFT in the exact shape of the paper's
+// formula (14).
+#pragma once
+
+#include "rewrite/rule.hpp"
+
+namespace spiral::rewrite {
+
+/// Returns the standard simplification rule set.
+[[nodiscard]] RuleSet simplification_rules();
+
+/// Convenience: rewrite `f` with the simplification rules to fixpoint.
+[[nodiscard]] FormulaPtr simplify(FormulaPtr f);
+
+}  // namespace spiral::rewrite

@@ -1,0 +1,219 @@
+#include "rewrite/smp_rules.hpp"
+
+#include <cmath>
+
+#include "rewrite/breakdown.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/simplify.hpp"
+
+namespace spiral::rewrite {
+
+using spl::Builder;
+using spl::I;
+using spl::Kind;
+using spl::L;
+
+namespace {
+
+/// Matches smp(p,mu){ <child> }; returns the child or nullptr.
+const FormulaPtr* tagged_child(const FormulaPtr& f) {
+  if (f->kind != Kind::kSmpTag) return nullptr;
+  return &f->child(0);
+}
+
+/// Picks the Cooley-Tukey split m for a tagged DFT_N such that both
+/// factors satisfy the multicore requirement p*mu | m and p*mu | N/m
+/// (paper Section 3.2: formula (14) exists for all N with (p*mu)^2 | N),
+/// preferring the most balanced admissible split. Returns 0 if none.
+idx_t choose_parallel_split(idx_t n, idx_t p, idx_t mu) {
+  idx_t best = 0;
+  double best_score = -1.0;
+  for (idx_t m : possible_splits(n)) {
+    const idx_t k = n / m;
+    if (m % (p * mu) != 0 || k % (p * mu) != 0) continue;
+    // Balance score: prefer m close to sqrt(n).
+    const double lm = static_cast<double>(util::log2_floor(m));
+    const double lk = static_cast<double>(util::log2_floor(k));
+    const double score = -std::abs(lm - lk);
+    if (best == 0 || score > best_score) {
+      best = m;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RuleSet smp_rules() {
+  RuleSet rules;
+
+  // (6) smp{A.B} -> smp{A} . smp{B}
+  rules.push_back(Rule{
+      "smp-6-compose",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = tagged_child(f);
+        if (!c || (*c)->kind != Kind::kCompose) return nullptr;
+        std::vector<FormulaPtr> factors;
+        factors.reserve((*c)->arity());
+        for (const auto& g : (*c)->children) {
+          factors.push_back(Builder::smp(f->p, f->mu, g));
+        }
+        return Builder::compose(std::move(factors));
+      }});
+
+  // (10) smp{P (x) I_n} -> (P (x) I_{n/mu}) (x)- I_mu     [mu | n]
+  // Must be tried before (7): permutations become cache-line moves, not
+  // parallel compute loops.
+  rules.push_back(Rule{
+      "smp-10-perm-cacheline",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = tagged_child(f);
+        if (!c || (*c)->kind != Kind::kTensor) return nullptr;
+        const auto& perm = (*c)->child(0);
+        const auto& id = (*c)->child(1);
+        if (id->kind != Kind::kIdentity) return nullptr;
+        if (!spl::is_permutation(perm)) return nullptr;
+        const idx_t n = id->n;
+        if (n % f->mu != 0) return nullptr;  // mu | n
+        FormulaPtr inner = simplify(Builder::tensor(perm, I(n / f->mu)));
+        return Builder::perm_bar(std::move(inner), f->mu);
+      }});
+
+  // (9) smp{I_m (x) A_n} -> I_p (x)|| (I_{m/p} (x) A_n)   [p | m]
+  rules.push_back(Rule{
+      "smp-9-tensor-chunk",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = tagged_child(f);
+        if (!c || (*c)->kind != Kind::kTensor) return nullptr;
+        const auto& id = (*c)->child(0);
+        const auto& a = (*c)->child(1);
+        if (id->kind != Kind::kIdentity) return nullptr;
+        const idx_t m = id->n;
+        if (m % f->p != 0) return nullptr;  // p | m
+        const idx_t block = (m / f->p) * a->size;
+        if (block % f->mu != 0) return nullptr;  // per-thread block on lines
+        FormulaPtr inner = simplify(Builder::tensor(I(m / f->p), a));
+        return Builder::tensor_par(f->p, std::move(inner));
+      }});
+
+  // (7) smp{A_m (x) I_n} -> smp{L^{mp}_m (x) I_{n/p}}
+  //                         . (I_p (x)|| (A_m (x) I_{n/p}))
+  //                         . smp{L^{mp}_p (x) I_{n/p}}    [p | n]
+  rules.push_back(Rule{
+      "smp-7-tensor-tile",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = tagged_child(f);
+        if (!c || (*c)->kind != Kind::kTensor) return nullptr;
+        const auto& a = (*c)->child(0);
+        const auto& id = (*c)->child(1);
+        if (id->kind != Kind::kIdentity) return nullptr;
+        if (a->kind == Kind::kIdentity) return nullptr;  // simplification's job
+        const idx_t p = f->p;
+        const idx_t mu = f->mu;
+        const idx_t m = a->size;
+        const idx_t n = id->n;
+        if (n % p != 0) return nullptr;         // p | n
+        if ((n / p) % mu != 0) return nullptr;  // cache-line granularity
+        FormulaPtr mid = Builder::tensor_par(
+            p, simplify(Builder::tensor(a, I(n / p))));
+        return Builder::compose({
+            Builder::smp(p, mu, Builder::tensor(L(m * p, m), I(n / p))),
+            std::move(mid),
+            Builder::smp(p, mu, Builder::tensor(L(m * p, p), I(n / p))),
+        });
+      }});
+
+  // (8) smp{L^{mn}_m}: two variants.
+  rules.push_back(Rule{
+      "smp-8-stride-perm",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = tagged_child(f);
+        if (!c || (*c)->kind != Kind::kStridePerm) return nullptr;
+        const idx_t p = f->p;
+        const idx_t mu = f->mu;
+        const idx_t mn = (*c)->size;
+        const idx_t m = (*c)->stride;
+        const idx_t n = mn / m;
+        // Variant 1 (split m): L^{mn}_m = (I_p (x) L^{mn/p}_{m/p})
+        //                                 (L^{pn}_p (x) I_{m/p})
+        if (m % p == 0 && (m / p) % mu == 0) {
+          return Builder::compose({
+              Builder::smp(p, mu,
+                           Builder::tensor(I(p), L(mn / p, m / p))),
+              Builder::smp(p, mu, Builder::tensor(L(p * n, p), I(m / p))),
+          });
+        }
+        // Variant 2 (split n): L^{mn}_m = (L^{pm}_m (x) I_{n/p})
+        //                                 (I_p (x) L^{mn/p}_m)
+        if (n % p == 0 && (n / p) % mu == 0) {
+          return Builder::compose({
+              Builder::smp(p, mu, Builder::tensor(L(p * m, m), I(n / p))),
+              Builder::smp(p, mu, Builder::tensor(I(p), L(mn / p, m))),
+          });
+        }
+        return nullptr;
+      }});
+
+  // (11) smp{D_{m,n}} -> (+)||_{i<p} D_i
+  rules.push_back(Rule{
+      "smp-11-diag-split",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = tagged_child(f);
+        if (!c || (*c)->kind != Kind::kTwiddleDiag) return nullptr;
+        const idx_t p = f->p;
+        const idx_t mu = f->mu;
+        const idx_t mn = (*c)->size;
+        if (mn % p != 0) return nullptr;         // p | mn
+        if ((mn / p) % mu != 0) return nullptr;  // cache-line granularity
+        const idx_t len = mn / p;
+        std::vector<FormulaPtr> segs;
+        segs.reserve(static_cast<std::size_t>(p));
+        for (idx_t i = 0; i < p; ++i) {
+          segs.push_back(Builder::diag_seg((*c)->tw_m, (*c)->tw_n, i * len,
+                                           len, (*c)->root_sign));
+        }
+        return Builder::direct_sum_par(std::move(segs));
+      }});
+
+  // Breakdown inside a tag: smp{DFT_N} -> smp{CT(m, N/m)} with the split
+  // chosen so that both factors are p*mu-divisible (Section 3.2). This is
+  // the interaction between the algorithm level and the parallelization
+  // tags: tagged nonterminals are expanded before the tags are resolved.
+  rules.push_back(Rule{
+      "smp-dft-breakdown",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = tagged_child(f);
+        if (!c || (*c)->kind != Kind::kDFT) return nullptr;
+        const idx_t m = choose_parallel_split((*c)->n, f->p, f->mu);
+        if (m == 0) return nullptr;  // no admissible split: stays sequential
+        return Builder::smp(f->p, f->mu,
+                            cooley_tukey(m, (*c)->n / m, (*c)->root_sign));
+      }});
+
+  // Same interaction for the Walsh-Hadamard transform: tagged WHT
+  // nonterminals break down with an admissible split, then the Table 1
+  // rules apply to the resulting tensor product unchanged.
+  rules.push_back(Rule{
+      "smp-wht-breakdown",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = tagged_child(f);
+        if (!c || (*c)->kind != Kind::kWHT) return nullptr;
+        const idx_t m = choose_parallel_split((*c)->n, f->p, f->mu);
+        if (m == 0) return nullptr;
+        return Builder::smp(f->p, f->mu, wht_breakdown(m, (*c)->n / m));
+      }});
+
+  // Simplifications participate in the same fixpoint so intermediate
+  // I_1 factors and trivial stride permutations disappear as they form.
+  for (auto& r : simplification_rules()) rules.push_back(std::move(r));
+
+  return rules;
+}
+
+FormulaPtr parallelize(const FormulaPtr& f, idx_t p, idx_t mu, Trace* trace) {
+  FormulaPtr tagged = Builder::smp(p, mu, f);
+  return rewrite_fixpoint(std::move(tagged), smp_rules(), trace);
+}
+
+}  // namespace spiral::rewrite

@@ -1,0 +1,41 @@
+// The shared-memory parallelization rules of the paper's Table 1 — the
+// central contribution of the reproduced work.
+//
+// Each rule matches an smp(p,mu)-tagged construct and rewrites it toward
+// the fully optimized parallel constructs of Definition 1:
+//
+//  (6)  smp{A.B}          -> smp{A} . smp{B}
+//  (7)  smp{A_m (x) I_n}  -> smp{L^{mp}_m (x) I_{n/p}}
+//                            . (I_p (x)|| (A_m (x) I_{n/p}))
+//                            . smp{L^{mp}_p (x) I_{n/p}}          [p | n]
+//  (8)  smp{L^{mn}_m}     -> smp{L^{pn}_p (x) I_{m/p}}
+//                            . smp{I_p (x) L^{mn/p}_{m/p}}        [p | m]
+//                     or  -> smp{I_p (x) L^{mn/p}_m}
+//                            . smp{L^{pm}_m (x) I_{n/p}}          [p | n]
+//  (9)  smp{I_m (x) A_n}  -> I_p (x)|| (I_{m/p} (x) A_n)          [p | m]
+//  (10) smp{P (x) I_n}    -> (P (x) I_{n/mu}) (x)- I_mu           [mu | n]
+//  (11) smp{D}            -> (+)||_{i<p} D_i                      [p | mn]
+//
+// Preconditions are enforced exactly as in the paper: "an expression n/p
+// on the right-hand side of a rule implies that the precondition p|n must
+// hold for the rule to be applicable". Additionally, the rules only fire
+// when the produced blocks respect cache-line granularity (mu divides the
+// per-processor chunk), which is what makes the result provably free of
+// false sharing.
+#pragma once
+
+#include "rewrite/rule.hpp"
+
+namespace spiral::rewrite {
+
+/// Returns the Table 1 rule set (in application priority order), together
+/// with the simplification rules needed to normalize intermediate results.
+[[nodiscard]] RuleSet smp_rules();
+
+/// Tags `f` with smp(p,mu) and rewrites to fixpoint with smp_rules() +
+/// simplifications. The result is expected to satisfy Definition 1 when
+/// the divisibility requirements hold (e.g. (p*mu)^2 | N for the DFT).
+[[nodiscard]] FormulaPtr parallelize(const FormulaPtr& f, idx_t p, idx_t mu,
+                                     Trace* trace = nullptr);
+
+}  // namespace spiral::rewrite

@@ -1,0 +1,302 @@
+#include "rewrite/vec_rules.hpp"
+
+#include "rewrite/breakdown.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/simplify.hpp"
+
+namespace spiral::rewrite {
+
+using spl::Builder;
+using spl::I;
+using spl::Kind;
+using spl::L;
+
+namespace {
+
+const FormulaPtr* vec_child(const FormulaPtr& f) {
+  if (f->kind != Kind::kVecTag) return nullptr;
+  return &f->child(0);
+}
+
+/// Balanced Cooley-Tukey split with nu | m and nu | n; 0 if none.
+idx_t choose_vec_split(idx_t n, idx_t nu) {
+  idx_t best = 0;
+  int best_gap = 1 << 30;
+  for (idx_t m : possible_splits(n)) {
+    if (m % nu != 0 || (n / m) % nu != 0) continue;
+    const int gap = std::abs(util::log2_floor(m) - util::log2_floor(n / m));
+    if (best == 0 || gap < best_gap) {
+      best = m;
+      best_gap = gap;
+    }
+  }
+  return best;
+}
+
+/// Matches I_k (x) L^{s*nu}_nu (including k == 1, i.e. a bare stride
+/// permutation with stride nu). Returns true and fills k, s on match.
+bool match_nested_vec_stride(const FormulaPtr& f, idx_t nu, idx_t* k,
+                             idx_t* s) {
+  const spl::Formula* l = nullptr;
+  if (f->kind == Kind::kStridePerm) {
+    *k = 1;
+    l = f.get();
+  } else if (f->kind == Kind::kTensor &&
+             f->child(0)->kind == Kind::kIdentity &&
+             f->child(1)->kind == Kind::kStridePerm) {
+    *k = f->child(0)->n;
+    l = f->child(1).get();
+  } else {
+    return false;
+  }
+  if (l->stride != nu) return false;
+  *s = l->size / nu;  // L^{s*nu}_nu
+  return *s % nu == 0 && *s >= nu;
+}
+
+}  // namespace
+
+RuleSet vec_rules() {
+  RuleSet rules;
+
+  // (v1) vec{A.B} -> vec{A} . vec{B}
+  rules.push_back(Rule{
+      "vec-1-compose",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = vec_child(f);
+        if (!c || (*c)->kind != Kind::kCompose) return nullptr;
+        std::vector<FormulaPtr> factors;
+        for (const auto& g : (*c)->children) {
+          factors.push_back(Builder::vec(f->mu, g));
+        }
+        return Builder::compose(std::move(factors));
+      }});
+
+  // Shuffle base case: vec{I_k (x) L^{nu^2}_nu} -> (I_k (x) L^{nu^2}_nu)v
+  rules.push_back(Rule{
+      "vec-shuffle-base",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = vec_child(f);
+        if (!c) return nullptr;
+        const idx_t nu = f->mu;
+        idx_t k = 0;
+        if ((*c)->kind == Kind::kStridePerm && (*c)->stride == nu &&
+            (*c)->size == nu * nu) {
+          k = 1;
+        } else if ((*c)->kind == Kind::kTensor &&
+                   (*c)->child(0)->kind == Kind::kIdentity &&
+                   (*c)->child(1)->kind == Kind::kStridePerm &&
+                   (*c)->child(1)->stride == nu &&
+                   (*c)->child(1)->size == nu * nu) {
+          k = (*c)->child(0)->n;
+        }
+        if (k == 0) return nullptr;
+        return Builder::vec_shuffle(k, nu);
+      }});
+
+  // (v2) vec{I_k (x) L^{s nu}_nu} with s > nu:
+  //   L^{s nu}_nu = (L^s_nu (x) I_nu)(I_{s/nu} (x) L^{nu^2}_nu)
+  //   => (I_k (x) L^s_nu (x) I_nu) . (I_{k s/nu} (x) L^{nu^2}_nu),
+  //   both re-tagged (the left matches (v3), the right the base case).
+  rules.push_back(Rule{
+      "vec-2-nested-stride",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = vec_child(f);
+        if (!c) return nullptr;
+        const idx_t nu = f->mu;
+        idx_t k = 0, s = 0;
+        if (!match_nested_vec_stride(*c, nu, &k, &s)) return nullptr;
+        if (s == nu) return nullptr;  // base case rule handles it
+        // Left factor built left-associated as (I_k (x) L^s_nu) (x) I_nu
+        // so rule (v3) recognizes the trailing I_nu.
+        FormulaPtr left = simplify(
+            Builder::tensor(Builder::tensor(I(k), L(s, nu)), I(nu)));
+        FormulaPtr right = simplify(
+            Builder::tensor(I(k * (s / nu)), L(nu * nu, nu)));
+        return Builder::compose({Builder::vec(nu, std::move(left)),
+                                 Builder::vec(nu, std::move(right))});
+      }});
+
+  // (v3) vec{P (x) I_n} -> (P (x) I_{n/nu}) (x)- I_nu   [P permutation]
+  rules.push_back(Rule{
+      "vec-3-perm-block",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = vec_child(f);
+        if (!c || (*c)->kind != Kind::kTensor) return nullptr;
+        const auto& perm = (*c)->child(0);
+        const auto& id = (*c)->child(1);
+        if (id->kind != Kind::kIdentity) return nullptr;
+        if (!spl::is_permutation(perm)) return nullptr;
+        const idx_t nu = f->mu;
+        if (id->n % nu != 0) return nullptr;
+        return Builder::perm_bar(
+            simplify(Builder::tensor(perm, I(id->n / nu))), nu);
+      }});
+
+  // (v4) vec{L^{mn}_m} -> vec{I_{m/nu} (x) L^{n nu}_nu}
+  //                       . vec{L^{(m/nu) n}_{m/nu} (x) I_nu}   [nu | m]
+  //   (rule (8) variant 1 with p = m/nu; for m == nu the left factor is
+  //   I_1 (x) L^{n nu}_nu, handled by (v2)/the base case.)
+  rules.push_back(Rule{
+      "vec-4-stride-split",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = vec_child(f);
+        if (!c || (*c)->kind != Kind::kStridePerm) return nullptr;
+        const idx_t nu = f->mu;
+        const idx_t mn = (*c)->size;
+        const idx_t m = (*c)->stride;
+        const idx_t n = mn / m;
+        if (m == nu) return nullptr;  // (v2)/base case territory
+        if (m % nu != 0 || n % nu != 0) return nullptr;
+        const idx_t p = m / nu;
+        FormulaPtr left =
+            simplify(Builder::tensor(I(p), L(n * nu, nu)));
+        FormulaPtr right =
+            simplify(Builder::tensor(L(p * n, p), I(nu)));
+        return Builder::compose({Builder::vec(nu, std::move(left)),
+                                 Builder::vec(nu, std::move(right))});
+      }});
+
+  // (v5) vec{A (x) I_n} -> (A (x) I_{n/nu}) (x)v I_nu
+  rules.push_back(Rule{
+      "vec-5-tensor",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = vec_child(f);
+        if (!c || (*c)->kind != Kind::kTensor) return nullptr;
+        const auto& a = (*c)->child(0);
+        const auto& id = (*c)->child(1);
+        if (id->kind != Kind::kIdentity) return nullptr;
+        if (a->kind == Kind::kIdentity) return nullptr;
+        const idx_t nu = f->mu;
+        if (id->n % nu != 0) return nullptr;
+        return Builder::vec_tensor(
+            simplify(Builder::tensor(a, I(id->n / nu))), nu);
+      }});
+
+  // (v6) vec{I_m (x) A_n} -> vec{L^{mn}_m} . vec{A (x) I_m}
+  //                          . vec{L^{mn}_n}
+  //   (the classical commutation; only for non-permutation A — tagged
+  //   I (x) L shapes are handled by (v2)/base to guarantee termination).
+  rules.push_back(Rule{
+      "vec-6-commute",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = vec_child(f);
+        if (!c || (*c)->kind != Kind::kTensor) return nullptr;
+        const auto& id = (*c)->child(0);
+        const auto& a = (*c)->child(1);
+        if (id->kind != Kind::kIdentity) return nullptr;
+        if (spl::is_permutation(a)) return nullptr;
+        const idx_t nu = f->mu;
+        const idx_t m = id->n;
+        const idx_t n = a->size;
+        if (m % nu != 0 || n % nu != 0) return nullptr;
+        return Builder::compose({
+            Builder::vec(nu, L(m * n, m)),
+            Builder::vec(nu, Builder::tensor(a, I(m))),
+            Builder::vec(nu, L(m * n, n)),
+        });
+      }});
+
+  // (v7) diagonals vectorize element-wise.
+  rules.push_back(Rule{
+      "vec-7-diag",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = vec_child(f);
+        if (!c) return nullptr;
+        if ((*c)->kind == Kind::kTwiddleDiag ||
+            (*c)->kind == Kind::kDiagSeg ||
+            (*c)->kind == Kind::kIdentity) {
+          return *c;
+        }
+        return nullptr;
+      }});
+
+  // (v8) tagged nonterminals break down with a nu-compatible split.
+  rules.push_back(Rule{
+      "vec-8-dft-breakdown",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = vec_child(f);
+        if (!c || (*c)->kind != Kind::kDFT) return nullptr;
+        const idx_t m = choose_vec_split((*c)->n, f->mu);
+        if (m == 0) return nullptr;
+        return Builder::vec(
+            f->mu, cooley_tukey(m, (*c)->n / m, (*c)->root_sign));
+      }});
+  rules.push_back(Rule{
+      "vec-8-wht-breakdown",
+      [](const FormulaPtr& f) -> FormulaPtr {
+        const FormulaPtr* c = vec_child(f);
+        if (!c || (*c)->kind != Kind::kWHT) return nullptr;
+        const idx_t m = choose_vec_split((*c)->n, f->mu);
+        if (m == 0) return nullptr;
+        return Builder::vec(f->mu, wht_breakdown(m, (*c)->n / m));
+      }});
+
+  for (auto& r : simplification_rules()) rules.push_back(std::move(r));
+  return rules;
+}
+
+FormulaPtr vectorize(const FormulaPtr& f, idx_t nu, Trace* trace) {
+  FormulaPtr tagged = Builder::vec(nu, f);
+  return rewrite_fixpoint(std::move(tagged), vec_rules(), trace);
+}
+
+FormulaPtr vectorize_parallel_blocks(const FormulaPtr& f, idx_t nu) {
+  if (f->kind == Kind::kTensorPar) {
+    FormulaPtr g = vectorize(f->child(0), nu);
+    if (!spl::has_vec_tag(g)) {
+      return Builder::tensor_par(f->p, std::move(g));
+    }
+    return f;  // preconditions failed: keep the scalar block
+  }
+  if (f->arity() == 0) return f;
+  std::vector<FormulaPtr> kids;
+  kids.reserve(f->arity());
+  bool changed = false;
+  for (const auto& c : f->children) {
+    FormulaPtr nc = vectorize_parallel_blocks(c, nu);
+    changed = changed || (nc != c);
+    kids.push_back(std::move(nc));
+  }
+  if (!changed) return f;
+  return with_children(f, std::move(kids));
+}
+
+bool is_fully_vectorized(const FormulaPtr& f, idx_t nu) {
+  if (!f) return false;
+  switch (f->kind) {
+    case Kind::kVecTensor:
+      return f->mu == nu;
+    case Kind::kVecShuffle:
+      return f->mu == nu;
+    case Kind::kPermBar:
+      return f->mu % nu == 0;  // coarser blocks still move whole vectors
+    case Kind::kTwiddleDiag:
+    case Kind::kDiagSeg:
+    case Kind::kIdentity:
+      return true;
+    case Kind::kCompose: {
+      for (const auto& c : f->children) {
+        if (!is_fully_vectorized(c, nu)) return false;
+      }
+      return true;
+    }
+    case Kind::kTensor:
+      return f->child(0)->kind == Kind::kIdentity &&
+             is_fully_vectorized(f->child(1), nu);
+    case Kind::kDirectSumPar: {
+      for (const auto& c : f->children) {
+        if (!is_fully_vectorized(c, nu)) return false;
+      }
+      return true;
+    }
+    case Kind::kTensorPar:
+      // SMP x SIMD composition: a parallel block is vectorized when its
+      // per-processor body is.
+      return is_fully_vectorized(f->child(0), nu);
+    default:
+      return false;
+  }
+}
+
+}  // namespace spiral::rewrite

@@ -1,0 +1,65 @@
+// Short-vector (SIMD) vectorization rules — the rewriting framework of
+// [9, 10, 13] that the paper composes with the shared-memory rules
+// ("the multicore Cooley-Tukey FFT ... makes it possible to use (14) in
+// tandem with the efficient short vector Cooley-Tukey FFT on machines
+// with SIMD extensions", Section 3.2).
+//
+// A vec(nu) tag demands that the tagged formula be rewritten so that all
+// data movement happens in aligned nu-element blocks and all arithmetic
+// runs in nu-way SIMD loops. The terminal constructs are
+//
+//   A (x)v I_nu                fully vectorized compute/permutation loop
+//   P (x)- I_nu                aligned vector-block permutation
+//   (I_k (x) L^{nu^2}_nu)v     in-register nu x nu transposes
+//   diagonals                  element-wise, trivially vectorizable
+//
+// Rules (preconditions in brackets; L-identities verified against the
+// dense semantics in tests):
+//
+//   (v1) vec{A.B}        -> vec{A} . vec{B}
+//   (v2) vec{I_k (x) L^{n nu}_nu}
+//                        -> (I_k (x) L^n_nu (x) I_{nu/nu}) (x)- I_nu
+//                           . (I_{k n/nu} (x) L^{nu^2}_nu)v      [nu | n]
+//        using L^{n nu}_nu = (L^n_nu (x) I_nu)(I_{n/nu} (x) L^{nu^2}_nu)
+//   (v3) vec{P (x) I_n}  -> (P (x) I_{n/nu}) (x)- I_nu     [P perm, nu|n]
+//   (v4) vec{L^{mn}_m}   -> vec{I_{m/nu} (x) L^{n nu}_nu}
+//                           . vec{L^{(m/nu) n}_{m/nu} (x) I_nu}  [nu | m]
+//   (v5) vec{A (x) I_n}  -> (A (x) I_{n/nu}) (x)v I_nu     [nu | n]
+//   (v6) vec{I_m (x) A_n}-> vec{L^{mn}_m} . vec{A (x) I_m}
+//                           . vec{L^{mn}_n}                [nu|m, nu|n]
+//   (v7) vec{D}          -> D                               (diagonals)
+//   (v8) vec{DFT_N}      -> vec{Cooley-Tukey(m, N/m)}   [nu|m, nu|N/m]
+//
+// The result satisfies is_fully_vectorized() (Definition V, mirroring
+// the paper's Definition 1), and lowering it yields stages whose index
+// maps pass backend::stage_vector_info at width nu — connecting the
+// formula-level guarantee to the kernel IR.
+#pragma once
+
+#include "rewrite/rule.hpp"
+
+namespace spiral::rewrite {
+
+/// Returns the vectorization rule set for tags vec(nu).
+[[nodiscard]] RuleSet vec_rules();
+
+/// Tags `f` with vec(nu) and rewrites to fixpoint (plus simplification).
+/// If the divisibility preconditions fail somewhere, the residual tag is
+/// left in place (check with spl::has_vec_tag).
+[[nodiscard]] FormulaPtr vectorize(const FormulaPtr& f, idx_t nu,
+                                   Trace* trace = nullptr);
+
+/// Definition V: true iff `f` is built only from the vectorized terminal
+/// constructs (width-compatible with nu) and their compositions.
+[[nodiscard]] bool is_fully_vectorized(const FormulaPtr& f, idx_t nu);
+
+/// The "in tandem" composition of Section 3.2: vectorizes the
+/// per-processor blocks of an smp-rewritten formula (the children of the
+/// I_p (x)|| constructs) with vec(nu). Blocks whose preconditions fail
+/// are left scalar; the parallel structure (Definition 1) is untouched.
+/// Requires nu <= mu so the boundary permutations already move whole
+/// vectors.
+[[nodiscard]] FormulaPtr vectorize_parallel_blocks(const FormulaPtr& f,
+                                                   idx_t nu);
+
+}  // namespace spiral::rewrite

@@ -1,0 +1,147 @@
+#include "search/evolution.hpp"
+
+#include <algorithm>
+
+namespace spiral::search {
+
+using rewrite::BreakdownKind;
+using rewrite::RuleTree;
+
+RuleTreePtr sample_ruletree(idx_t n, idx_t leaf, util::Rng& rng) {
+  const auto splits = rewrite::possible_splits(n);
+  const bool can_leaf = n <= leaf;
+  if (splits.empty() || (can_leaf && rng.uniform_int(0, 1) == 0)) {
+    return RuleTree::leaf(n);
+  }
+  const idx_t m = splits[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<idx_t>(splits.size()) - 1))];
+  return RuleTree::node(BreakdownKind::kCooleyTukey,
+                        sample_ruletree(m, leaf, rng),
+                        sample_ruletree(n / m, leaf, rng));
+}
+
+namespace {
+
+idx_t count_nodes(const RuleTreePtr& t) {
+  if (t->kind == BreakdownKind::kBaseCase) return 1;
+  return 1 + count_nodes(t->left) + count_nodes(t->right);
+}
+
+/// Replaces the node at preorder position `target` (counting from 0) with
+/// the result of `make(subtree)`; used by both operators.
+RuleTreePtr replace_at(const RuleTreePtr& t, idx_t& target,
+                       const std::function<RuleTreePtr(const RuleTreePtr&)>&
+                           make) {
+  if (target == 0) {
+    target = -1;  // consumed
+    return make(t);
+  }
+  --target;
+  if (t->kind == BreakdownKind::kBaseCase) return t;
+  RuleTreePtr left = replace_at(t->left, target, make);
+  if (target == idx_t{-1}) {
+    return RuleTree::node(t->kind, left, t->right);
+  }
+  RuleTreePtr right = replace_at(t->right, target, make);
+  if (target == idx_t{-1}) {
+    return RuleTree::node(t->kind, t->left, right);
+  }
+  return t;
+}
+
+/// Collects all subtrees of the given size.
+void collect_of_size(const RuleTreePtr& t, idx_t size,
+                     std::vector<RuleTreePtr>& out) {
+  if (t->n == size) out.push_back(t);
+  if (t->kind != BreakdownKind::kBaseCase) {
+    collect_of_size(t->left, size, out);
+    collect_of_size(t->right, size, out);
+  }
+}
+
+}  // namespace
+
+RuleTreePtr mutate_ruletree(const RuleTreePtr& tree, idx_t leaf,
+                            util::Rng& rng) {
+  idx_t target = rng.uniform_int(0, count_nodes(tree) - 1);
+  return replace_at(tree, target, [&](const RuleTreePtr& sub) {
+    return sample_ruletree(sub->n, leaf, rng);
+  });
+}
+
+RuleTreePtr crossover_ruletrees(const RuleTreePtr& a, const RuleTreePtr& b,
+                                util::Rng& rng) {
+  idx_t target = rng.uniform_int(0, count_nodes(a) - 1);
+  return replace_at(a, target, [&](const RuleTreePtr& sub) -> RuleTreePtr {
+    std::vector<RuleTreePtr> donors;
+    collect_of_size(b, sub->n, donors);
+    if (donors.empty()) return sub;
+    return donors[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<idx_t>(donors.size()) - 1))];
+  });
+}
+
+SearchResult evolutionary_search(idx_t n, const CostFn& cost,
+                                 const EvolutionOptions& opt,
+                                 util::Rng& rng) {
+  util::require(util::is_pow2(n) && n >= 2,
+                "evolutionary_search: 2-power n required");
+  util::require(opt.population >= 2 && opt.elites < opt.population,
+                "evolutionary_search: bad population parameters");
+
+  struct Individual {
+    RuleTreePtr tree;
+    double cost;
+  };
+  SearchResult result;
+  auto evaluate = [&](const RuleTreePtr& t) {
+    const double c = cost(t);
+    ++result.evaluations;
+    if (!result.tree || c < result.cost) {
+      result.tree = t;
+      result.cost = c;
+    }
+    return c;
+  };
+
+  std::vector<Individual> pop;
+  pop.reserve(static_cast<std::size_t>(opt.population));
+  for (int i = 0; i < opt.population; ++i) {
+    auto t = sample_ruletree(n, opt.leaf, rng);
+    pop.push_back({t, evaluate(t)});
+  }
+
+  auto tournament = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (int i = 0; i < opt.tournament; ++i) {
+      const auto& cand = pop[static_cast<std::size_t>(
+          rng.uniform_int(0, opt.population - 1))];
+      if (best == nullptr || cand.cost < best->cost) best = &cand;
+    }
+    return *best;
+  };
+
+  for (int gen = 0; gen < opt.generations; ++gen) {
+    std::sort(pop.begin(), pop.end(),
+              [](const Individual& x, const Individual& y) {
+                return x.cost < y.cost;
+              });
+    std::vector<Individual> next(pop.begin(), pop.begin() + opt.elites);
+    while (static_cast<int>(next.size()) < opt.population) {
+      RuleTreePtr child = tournament().tree;
+      const double roll = rng.uniform(0.0, 1.0);
+      if (roll < opt.crossover_rate) {
+        child = crossover_ruletrees(child, tournament().tree, rng);
+      } else if (roll < opt.crossover_rate + opt.mutation_rate) {
+        child = mutate_ruletree(child, opt.leaf, rng);
+      } else {
+        child = sample_ruletree(n, opt.leaf, rng);  // random restart
+      }
+      next.push_back({child, evaluate(child)});
+    }
+    pop = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace spiral::search

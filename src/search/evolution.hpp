@@ -1,0 +1,49 @@
+// Evolutionary (stochastic) search over ruletrees — the second search
+// strategy the paper names for Spiral's search/learning block ("dynamic
+// programming or an evolutionary algorithm", Section 2.3, citing Singer &
+// Veloso's stochastic search [24]).
+//
+// Individuals are Cooley-Tukey ruletrees for a fixed size; fitness is the
+// (negated) cost function. Operators:
+//   * mutation  — re-expand a uniformly chosen subtree randomly;
+//   * crossover — graft a same-size subtree from another individual;
+//   * selection — tournament of configurable arity, with elitism.
+#pragma once
+
+#include "search/search.hpp"
+
+namespace spiral::search {
+
+struct EvolutionOptions {
+  int population = 16;
+  int generations = 10;
+  int tournament = 3;      ///< selection tournament size
+  double mutation_rate = 0.4;
+  double crossover_rate = 0.4;
+  int elites = 2;          ///< best individuals copied unchanged
+  idx_t leaf = rewrite::kMaxCodeletSize;
+};
+
+/// Runs the evolutionary search for DFT_n ruletrees. Deterministic given
+/// the Rng state. Returns the best individual ever seen.
+[[nodiscard]] SearchResult evolutionary_search(idx_t n, const CostFn& cost,
+                                               const EvolutionOptions& opt,
+                                               util::Rng& rng);
+
+/// Uniformly samples a random ruletree for size n (exposed for tests and
+/// for random restarts).
+[[nodiscard]] RuleTreePtr sample_ruletree(idx_t n, idx_t leaf,
+                                          util::Rng& rng);
+
+/// Mutation operator: returns a copy of `tree` with one random subtree
+/// re-expanded randomly.
+[[nodiscard]] RuleTreePtr mutate_ruletree(const RuleTreePtr& tree,
+                                          idx_t leaf, util::Rng& rng);
+
+/// Crossover operator: replaces a random subtree of `a` with a same-size
+/// subtree of `b` when one exists (otherwise returns `a` unchanged).
+[[nodiscard]] RuleTreePtr crossover_ruletrees(const RuleTreePtr& a,
+                                              const RuleTreePtr& b,
+                                              util::Rng& rng);
+
+}  // namespace spiral::search

@@ -1,0 +1,259 @@
+#include "spl/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spl/twiddle.hpp"
+
+namespace spiral::spl {
+
+DenseMatrix DenseMatrix::mul(const DenseMatrix& other) const {
+  assert(cols_ == other.rows_);
+  DenseMatrix r(rows_, other.cols_);
+  for (idx_t i = 0; i < rows_; ++i) {
+    for (idx_t k = 0; k < cols_; ++k) {
+      const cplx aik = at(i, k);
+      if (aik == cplx{0.0, 0.0}) continue;
+      for (idx_t j = 0; j < other.cols_; ++j) {
+        r.at(i, j) += aik * other.at(k, j);
+      }
+    }
+  }
+  return r;
+}
+
+DenseMatrix DenseMatrix::kron(const DenseMatrix& other) const {
+  DenseMatrix r(rows_ * other.rows_, cols_ * other.cols_);
+  for (idx_t i = 0; i < rows_; ++i) {
+    for (idx_t j = 0; j < cols_; ++j) {
+      const cplx aij = at(i, j);
+      if (aij == cplx{0.0, 0.0}) continue;
+      for (idx_t k = 0; k < other.rows_; ++k) {
+        for (idx_t l = 0; l < other.cols_; ++l) {
+          r.at(i * other.rows_ + k, j * other.cols_ + l) =
+              aij * other.at(k, l);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+util::cvec DenseMatrix::apply(const util::cvec& x) const {
+  assert(static_cast<idx_t>(x.size()) == cols_);
+  util::cvec y(static_cast<std::size_t>(rows_), cplx{0.0, 0.0});
+  for (idx_t i = 0; i < rows_; ++i) {
+    cplx acc{0.0, 0.0};
+    for (idx_t j = 0; j < cols_; ++j) {
+      acc += at(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  return y;
+}
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double d = 0.0;
+  for (std::size_t i = 0; i < a_.size(); ++i) {
+    d = std::max(d, std::abs(a_[i] - other.a_[i]));
+  }
+  return d;
+}
+
+DenseMatrix DenseMatrix::eye(idx_t n) {
+  DenseMatrix r(n, n);
+  for (idx_t i = 0; i < n; ++i) r.at(i, i) = cplx{1.0, 0.0};
+  return r;
+}
+
+DenseMatrix dense_dft(idx_t n, int sign) {
+  DenseMatrix r(n, n);
+  for (idx_t k = 0; k < n; ++k) {
+    for (idx_t l = 0; l < n; ++l) {
+      r.at(k, l) = root_of_unity(n, k * l, sign);
+    }
+  }
+  return r;
+}
+
+namespace {
+
+DenseMatrix dense_perm_from_table(const std::vector<idx_t>& table) {
+  const idx_t n = static_cast<idx_t>(table.size());
+  DenseMatrix r(n, n);
+  for (idx_t t = 0; t < n; ++t) r.at(t, table[static_cast<std::size_t>(t)]) =
+      cplx{1.0, 0.0};
+  return r;
+}
+
+}  // namespace
+
+std::vector<idx_t> permutation_table(const FormulaPtr& f) {
+  util::require(is_permutation(f), "permutation_table: not a permutation");
+  const idx_t n = f->size;
+  std::vector<idx_t> table(static_cast<std::size_t>(n));
+  switch (f->kind) {
+    case Kind::kIdentity: {
+      for (idx_t t = 0; t < n; ++t) table[static_cast<std::size_t>(t)] = t;
+      break;
+    }
+    case Kind::kStridePerm: {
+      // Paper convention: viewing x as an (mn/m) x m matrix in row-major
+      // order, L^{mn}_m transposes it: y[i*nn + j] = x[j*m + i] for
+      // 0 <= i < m, 0 <= j < nn (reads at stride m).
+      const idx_t m = f->stride;
+      const idx_t nn = n / m;
+      for (idx_t i = 0; i < m; ++i) {
+        for (idx_t j = 0; j < nn; ++j) {
+          table[static_cast<std::size_t>(i * nn + j)] = j * m + i;
+        }
+      }
+      break;
+    }
+    case Kind::kCompose: {
+      // y = A_0 (A_1 (... x)): compose tables left to right.
+      table = permutation_table(f->child(0));
+      for (std::size_t c = 1; c < f->arity(); ++c) {
+        const auto inner = permutation_table(f->child(c));
+        for (auto& t : table) t = inner[static_cast<std::size_t>(t)];
+      }
+      break;
+    }
+    case Kind::kTensor: {
+      const auto ta = permutation_table(f->child(0));
+      const auto tb = permutation_table(f->child(1));
+      const idx_t nb = f->child(1)->size;
+      for (idx_t ra = 0; ra < f->child(0)->size; ++ra) {
+        for (idx_t rb = 0; rb < nb; ++rb) {
+          table[static_cast<std::size_t>(ra * nb + rb)] =
+              ta[static_cast<std::size_t>(ra)] * nb +
+              tb[static_cast<std::size_t>(rb)];
+        }
+      }
+      break;
+    }
+    case Kind::kDirectSum: {
+      idx_t off = 0;
+      for (const auto& c : f->children) {
+        const auto tc = permutation_table(c);
+        for (idx_t t = 0; t < c->size; ++t) {
+          table[static_cast<std::size_t>(off + t)] =
+              off + tc[static_cast<std::size_t>(t)];
+        }
+        off += c->size;
+      }
+      break;
+    }
+    case Kind::kPermBar:
+    case Kind::kVecTensor: {
+      // P (x)- I_mu and P (x)v I_nu are P (x) I_w as matrices.
+      const auto tp = permutation_table(f->child(0));
+      const idx_t mu = f->mu;
+      for (idx_t r = 0; r < f->child(0)->size; ++r) {
+        for (idx_t k = 0; k < mu; ++k) {
+          table[static_cast<std::size_t>(r * mu + k)] =
+              tp[static_cast<std::size_t>(r)] * mu + k;
+        }
+      }
+      break;
+    }
+    case Kind::kVecShuffle: {
+      // I_k (x) L^{nu^2}_nu.
+      const idx_t nu = f->mu;
+      const auto tl =
+          permutation_table(Builder::stride_perm(nu * nu, nu));
+      for (idx_t b = 0; b < f->n; ++b) {
+        for (idx_t t = 0; t < nu * nu; ++t) {
+          table[static_cast<std::size_t>(b * nu * nu + t)] =
+              b * nu * nu + tl[static_cast<std::size_t>(t)];
+        }
+      }
+      break;
+    }
+    default:
+      util::require(false, "permutation_table: unsupported construct");
+  }
+  return table;
+}
+
+DenseMatrix to_dense(const FormulaPtr& f) {
+  util::require(f != nullptr, "to_dense: null formula");
+  switch (f->kind) {
+    case Kind::kIdentity:
+      return DenseMatrix::eye(f->n);
+    case Kind::kDFT:
+      return dense_dft(f->n, f->root_sign);
+    case Kind::kWHT: {
+      // WHT_{2^k} = F_2 (x) ... (x) F_2 (k factors), entries +-1.
+      DenseMatrix r(1, 1);
+      r.at(0, 0) = cplx{1.0, 0.0};
+      DenseMatrix f2(2, 2);
+      f2.at(0, 0) = f2.at(0, 1) = f2.at(1, 0) = cplx{1.0, 0.0};
+      f2.at(1, 1) = cplx{-1.0, 0.0};
+      for (idx_t m = 1; m < f->n; m *= 2) r = r.kron(f2);
+      return r;
+    }
+    case Kind::kF2: {
+      DenseMatrix r(2, 2);
+      r.at(0, 0) = r.at(0, 1) = r.at(1, 0) = cplx{1.0, 0.0};
+      r.at(1, 1) = cplx{-1.0, 0.0};
+      return r;
+    }
+    case Kind::kCompose: {
+      DenseMatrix r = to_dense(f->child(0));
+      for (std::size_t i = 1; i < f->arity(); ++i) {
+        r = r.mul(to_dense(f->child(i)));
+      }
+      return r;
+    }
+    case Kind::kTensor:
+      return to_dense(f->child(0)).kron(to_dense(f->child(1)));
+    case Kind::kDirectSum:
+    case Kind::kDirectSumPar: {
+      DenseMatrix r(f->size, f->size);
+      idx_t off = 0;
+      for (const auto& c : f->children) {
+        const DenseMatrix b = to_dense(c);
+        for (idx_t i = 0; i < c->size; ++i) {
+          for (idx_t j = 0; j < c->size; ++j) {
+            r.at(off + i, off + j) = b.at(i, j);
+          }
+        }
+        off += c->size;
+      }
+      return r;
+    }
+    case Kind::kStridePerm:
+    case Kind::kPermBar:
+      return dense_perm_from_table(permutation_table(f));
+    case Kind::kTwiddleDiag: {
+      DenseMatrix r(f->size, f->size);
+      for (idx_t t = 0; t < f->size; ++t) {
+        r.at(t, t) = twiddle_entry(f->tw_m, f->tw_n, t, f->root_sign);
+      }
+      return r;
+    }
+    case Kind::kDiagSeg: {
+      DenseMatrix r(f->size, f->size);
+      for (idx_t t = 0; t < f->size; ++t) {
+        r.at(t, t) =
+            twiddle_entry(f->tw_m, f->tw_n, f->seg_off + t, f->root_sign);
+      }
+      return r;
+    }
+    case Kind::kSmpTag:
+    case Kind::kVecTag:
+      return to_dense(f->child(0));  // tags are semantically transparent
+    case Kind::kTensorPar:
+      return DenseMatrix::eye(f->p).kron(to_dense(f->child(0)));
+    case Kind::kVecTensor:
+      return to_dense(f->child(0)).kron(DenseMatrix::eye(f->mu));
+    case Kind::kVecShuffle:
+      return dense_perm_from_table(permutation_table(f));
+  }
+  util::require(false, "to_dense: unreachable");
+  return {};
+}
+
+}  // namespace spiral::spl

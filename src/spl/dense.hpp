@@ -1,0 +1,65 @@
+// Dense-matrix semantics of SPL formulas.
+//
+// Every construct in the IR has an exact dense interpretation; this module
+// materializes it. It is the ground truth that the rewriting rules and the
+// execution backends are property-tested against: for every rewrite rule
+// lhs -> rhs we check dense(lhs) == dense(rhs), and for every backend we
+// check backend(x) == dense(formula) * x. Only intended for small sizes
+// (O(n^2) memory).
+#pragma once
+
+#include <vector>
+
+#include "spl/formula.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace spiral::spl {
+
+/// Minimal dense complex matrix (row-major).
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(idx_t rows, idx_t cols)
+      : rows_(rows), cols_(cols),
+        a_(static_cast<std::size_t>(rows * cols), cplx{0.0, 0.0}) {}
+
+  [[nodiscard]] idx_t rows() const noexcept { return rows_; }
+  [[nodiscard]] idx_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] cplx& at(idx_t r, idx_t c) {
+    return a_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  [[nodiscard]] const cplx& at(idx_t r, idx_t c) const {
+    return a_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  /// Matrix product this * other.
+  [[nodiscard]] DenseMatrix mul(const DenseMatrix& other) const;
+
+  /// Kronecker product this (x) other.
+  [[nodiscard]] DenseMatrix kron(const DenseMatrix& other) const;
+
+  /// Matrix-vector product.
+  [[nodiscard]] util::cvec apply(const util::cvec& x) const;
+
+  /// Max |a_ij - b_ij| over all entries.
+  [[nodiscard]] double max_abs_diff(const DenseMatrix& other) const;
+
+  static DenseMatrix eye(idx_t n);
+
+ private:
+  idx_t rows_ = 0, cols_ = 0;
+  std::vector<cplx> a_;
+};
+
+/// Materializes the dense matrix a formula denotes.
+[[nodiscard]] DenseMatrix to_dense(const FormulaPtr& f);
+
+/// Dense DFT_n matrix (w_n = e^{sign*2pi i/n}).
+[[nodiscard]] DenseMatrix dense_dft(idx_t n, int sign = -1);
+
+/// Explicit permutation table of a permutation formula:
+/// result[out_index] = in_index, i.e. y[t] = x[table[t]].
+[[nodiscard]] std::vector<idx_t> permutation_table(const FormulaPtr& f);
+
+}  // namespace spiral::spl

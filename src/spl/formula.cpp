@@ -1,0 +1,282 @@
+#include "spl/formula.hpp"
+
+#include <functional>
+
+namespace spiral::spl {
+
+using util::require;
+
+std::shared_ptr<Formula> Builder::make(Kind k, idx_t size) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind = k;
+  f->size = size;
+  return f;
+}
+
+FormulaPtr Builder::identity(idx_t n) {
+  require(n >= 1, "I_n requires n >= 1");
+  auto f = make(Kind::kIdentity, n);
+  f->n = n;
+  return f;
+}
+
+FormulaPtr Builder::dft(idx_t n, int root_sign) {
+  require(n >= 2, "DFT_n requires n >= 2");
+  require(root_sign == 1 || root_sign == -1, "root sign must be +-1");
+  auto f = make(Kind::kDFT, n);
+  f->n = n;
+  f->root_sign = root_sign;
+  return f;
+}
+
+FormulaPtr Builder::wht(idx_t n) {
+  require(n >= 2 && util::is_pow2(n), "WHT_n requires a 2-power n >= 2");
+  auto f = make(Kind::kWHT, n);
+  f->n = n;
+  return f;
+}
+
+FormulaPtr Builder::f2() {
+  auto f = make(Kind::kF2, 2);
+  f->n = 2;
+  return f;
+}
+
+FormulaPtr Builder::compose(std::vector<FormulaPtr> factors) {
+  require(!factors.empty(), "compose requires at least one factor");
+  if (factors.size() == 1) return factors.front();
+  // Flatten nested compositions so rewriting sees one factor list.
+  std::vector<FormulaPtr> flat;
+  for (const auto& g : factors) {
+    require(g != nullptr, "compose: null factor");
+    if (g->kind == Kind::kCompose) {
+      flat.insert(flat.end(), g->children.begin(), g->children.end());
+    } else {
+      flat.push_back(g);
+    }
+  }
+  const idx_t n = flat.front()->size;
+  for (const auto& g : flat) {
+    require(g->size == n, "compose: factor dimensions disagree");
+  }
+  auto f = make(Kind::kCompose, n);
+  f->children = std::move(flat);
+  return f;
+}
+
+FormulaPtr Builder::tensor(FormulaPtr a, FormulaPtr b) {
+  require(a != nullptr && b != nullptr, "tensor: null operand");
+  auto f = make(Kind::kTensor, a->size * b->size);
+  f->children = {std::move(a), std::move(b)};
+  return f;
+}
+
+FormulaPtr Builder::direct_sum(std::vector<FormulaPtr> blocks) {
+  require(!blocks.empty(), "direct_sum requires at least one block");
+  idx_t total = 0;
+  for (const auto& g : blocks) {
+    require(g != nullptr, "direct_sum: null block");
+    total += g->size;
+  }
+  auto f = make(Kind::kDirectSum, total);
+  f->children = std::move(blocks);
+  return f;
+}
+
+FormulaPtr Builder::stride_perm(idx_t mn, idx_t m) {
+  require(mn >= 1 && m >= 1, "L^{mn}_m requires positive sizes");
+  require(mn % m == 0, "L^{mn}_m requires m | mn");
+  auto f = make(Kind::kStridePerm, mn);
+  f->stride = m;
+  return f;
+}
+
+FormulaPtr Builder::twiddle(idx_t m, idx_t n, int root_sign) {
+  require(m >= 1 && n >= 1, "D_{m,n} requires positive sizes");
+  auto f = make(Kind::kTwiddleDiag, m * n);
+  f->tw_m = m;
+  f->tw_n = n;
+  f->root_sign = root_sign;
+  return f;
+}
+
+FormulaPtr Builder::diag_seg(idx_t m, idx_t n, idx_t off, idx_t len,
+                             int root_sign) {
+  require(m >= 1 && n >= 1, "diag segment requires positive D_{m,n}");
+  require(off >= 0 && len >= 1 && off + len <= m * n,
+          "diag segment out of range");
+  auto f = make(Kind::kDiagSeg, len);
+  f->tw_m = m;
+  f->tw_n = n;
+  f->seg_off = off;
+  f->root_sign = root_sign;
+  return f;
+}
+
+FormulaPtr Builder::smp(idx_t p, idx_t mu, FormulaPtr a) {
+  require(a != nullptr, "smp tag: null child");
+  require(p >= 1, "smp tag requires p >= 1");
+  require(mu >= 1, "smp tag requires mu >= 1");
+  auto f = make(Kind::kSmpTag, a->size);
+  f->p = p;
+  f->mu = mu;
+  f->children = {std::move(a)};
+  return f;
+}
+
+FormulaPtr Builder::tensor_par(idx_t p, FormulaPtr a) {
+  require(a != nullptr, "tensor_par: null child");
+  require(p >= 1, "tensor_par requires p >= 1");
+  auto f = make(Kind::kTensorPar, p * a->size);
+  f->p = p;
+  f->children = {std::move(a)};
+  return f;
+}
+
+FormulaPtr Builder::direct_sum_par(std::vector<FormulaPtr> blocks) {
+  require(!blocks.empty(), "direct_sum_par requires at least one block");
+  idx_t total = 0;
+  for (const auto& g : blocks) {
+    require(g != nullptr, "direct_sum_par: null block");
+    total += g->size;
+  }
+  auto f = make(Kind::kDirectSumPar, total);
+  f->p = static_cast<idx_t>(f->children.size());
+  f->children = std::move(blocks);
+  f->p = static_cast<idx_t>(f->children.size());
+  return f;
+}
+
+FormulaPtr Builder::perm_bar(FormulaPtr perm, idx_t mu) {
+  require(perm != nullptr, "perm_bar: null permutation");
+  require(mu >= 1, "perm_bar requires mu >= 1");
+  require(is_permutation(perm), "perm_bar child must be a permutation");
+  auto f = make(Kind::kPermBar, perm->size * mu);
+  f->mu = mu;
+  f->children = {std::move(perm)};
+  return f;
+}
+
+FormulaPtr Builder::vec(idx_t nu, FormulaPtr a) {
+  require(a != nullptr, "vec tag: null child");
+  require(nu >= 2 && util::is_pow2(nu), "vec tag requires 2-power nu >= 2");
+  auto f = make(Kind::kVecTag, a->size);
+  f->mu = nu;
+  f->children = {std::move(a)};
+  return f;
+}
+
+FormulaPtr Builder::vec_tensor(FormulaPtr a, idx_t nu) {
+  require(a != nullptr, "vec_tensor: null child");
+  require(nu >= 2 && util::is_pow2(nu),
+          "vec_tensor requires 2-power nu >= 2");
+  auto f = make(Kind::kVecTensor, a->size * nu);
+  f->mu = nu;
+  f->children = {std::move(a)};
+  return f;
+}
+
+FormulaPtr Builder::vec_shuffle(idx_t k, idx_t nu) {
+  require(k >= 1, "vec_shuffle requires k >= 1");
+  require(nu >= 2 && util::is_pow2(nu),
+          "vec_shuffle requires 2-power nu >= 2");
+  auto f = make(Kind::kVecShuffle, k * nu * nu);
+  f->n = k;
+  f->mu = nu;
+  return f;
+}
+
+bool equal(const FormulaPtr& a, const FormulaPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind || a->size != b->size) return false;
+  if (a->n != b->n || a->stride != b->stride || a->tw_m != b->tw_m ||
+      a->tw_n != b->tw_n || a->seg_off != b->seg_off || a->p != b->p ||
+      a->mu != b->mu || a->root_sign != b->root_sign) {
+    return false;
+  }
+  if (a->children.size() != b->children.size()) return false;
+  for (std::size_t i = 0; i < a->children.size(); ++i) {
+    if (!equal(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+std::size_t hash_of(const FormulaPtr& f) {
+  if (!f) return 0;
+  std::size_t h = std::hash<int>{}(static_cast<int>(f->kind));
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::size_t>(f->size));
+  mix(static_cast<std::size_t>(f->n));
+  mix(static_cast<std::size_t>(f->stride));
+  mix(static_cast<std::size_t>(f->tw_m));
+  mix(static_cast<std::size_t>(f->tw_n));
+  mix(static_cast<std::size_t>(f->seg_off));
+  mix(static_cast<std::size_t>(f->p));
+  mix(static_cast<std::size_t>(f->mu));
+  mix(static_cast<std::size_t>(f->root_sign + 2));
+  for (const auto& c : f->children) mix(hash_of(c));
+  return h;
+}
+
+bool is_permutation(const FormulaPtr& f) {
+  if (!f) return false;
+  switch (f->kind) {
+    case Kind::kIdentity:
+    case Kind::kStridePerm:
+      return true;
+    case Kind::kCompose:
+    case Kind::kTensor:
+    case Kind::kDirectSum: {
+      for (const auto& c : f->children) {
+        if (!is_permutation(c)) return false;
+      }
+      return true;
+    }
+    case Kind::kPermBar:
+      return true;  // P (x)- I_mu is itself a permutation
+    case Kind::kVecShuffle:
+      return true;  // I_k (x) L^{nu^2}_nu is a permutation
+    case Kind::kVecTensor:
+      return is_permutation(f->child(0));  // P (x)v I_nu is a permutation
+    default:
+      return false;
+  }
+}
+
+namespace {
+template <class Pred>
+bool any_node(const FormulaPtr& f, Pred pred) {
+  if (!f) return false;
+  if (pred(*f)) return true;
+  for (const auto& c : f->children) {
+    if (any_node(c, pred)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+bool has_nonterminal(const FormulaPtr& f) {
+  return any_node(f, [](const Formula& g) {
+    return g.kind == Kind::kDFT || g.kind == Kind::kWHT;
+  });
+}
+
+bool has_smp_tag(const FormulaPtr& f) {
+  return any_node(f, [](const Formula& g) { return g.kind == Kind::kSmpTag; });
+}
+
+bool has_vec_tag(const FormulaPtr& f) {
+  return any_node(f, [](const Formula& g) { return g.kind == Kind::kVecTag; });
+}
+
+idx_t node_count(const FormulaPtr& f) {
+  if (!f) return 0;
+  idx_t c = 1;
+  for (const auto& ch : f->children) c += node_count(ch);
+  return c;
+}
+
+}  // namespace spiral::spl

@@ -1,0 +1,152 @@
+// SPL (Signal Processing Language) formula IR.
+//
+// Formulas are immutable trees of structured-matrix constructors in the
+// Kronecker-product formalism of the paper (Section 2.2):
+//
+//   I_n                identity
+//   DFT_n              discrete Fourier transform (the transform nonterminal)
+//   A . B              matrix product / composition (y = A (B x))
+//   A (x) B            tensor (Kronecker) product
+//   (+)_i A_i          direct sum (block diagonal)
+//   L^{mn}_m           stride permutation
+//   D_{m,n}            Cooley-Tukey twiddle diagonal
+//
+// plus the tagged shared-memory constructs of Section 3.1:
+//
+//   smp(p,mu){ A }     "rewrite A for a p-way machine with line size mu"
+//   I_p (x)|| A        parallel tensor   (fully optimized, p threads)
+//   (+)||_i A_i        parallel direct sum
+//   P (x)- I_mu        cache-line permutation (whole lines move)
+//
+// Formula objects are immutable and shared via shared_ptr; the rewriting
+// system (src/rewrite/) produces new trees instead of mutating.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace spiral::spl {
+
+enum class Kind {
+  kIdentity,     ///< I_n
+  kDFT,          ///< DFT_n (nonterminal until broken down to base cases)
+  kWHT,          ///< WHT_n Walsh-Hadamard transform (2-power nonterminal)
+  kF2,           ///< DFT_2 butterfly base case [[1,1],[1,-1]]
+  kCompose,      ///< A_0 . A_1 . ... (apply rightmost child first)
+  kTensor,       ///< A (x) B, binary
+  kDirectSum,    ///< (+)_i A_i
+  kStridePerm,   ///< L^{mn}_{str}: y[j*str + i] = x[i*(mn/str) + j]
+  kTwiddleDiag,  ///< D_{m,n}: diag entry at linear index i*n+j is w_{mn}^{ij}
+  kDiagSeg,      ///< contiguous segment [off, off+len) of some D_{m,n}
+  kSmpTag,       ///< smp(p,mu){ A } — rewriting obligation tag
+  kTensorPar,    ///< I_p (x)|| A — declared fully parallel-optimized
+  kDirectSumPar, ///< (+)||_i A_i — declared fully parallel-optimized
+  kPermBar,      ///< P (x)- I_mu, child is a permutation formula P
+  // Short-vector (SIMD) constructs, from the vectorization framework
+  // [9, 10, 13] the paper composes with (Section 3.2):
+  kVecTag,       ///< vec(nu){ A } — vectorization obligation tag
+  kVecTensor,    ///< A (x)v I_nu — declared fully vectorized (SIMD loops)
+  kVecShuffle,   ///< I_k (x) L^{nu^2}_nu — in-register transposes
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// One immutable SPL node. All matrices in this IR are square.
+class Formula {
+ public:
+  Kind kind;
+
+  /// Matrix dimension (all constructs here are n x n).
+  idx_t size = 0;
+
+  // --- per-kind parameters (unused fields are zero) -----------------------
+  idx_t n = 0;        ///< kIdentity / kDFT / kF2: transform size
+  idx_t stride = 0;   ///< kStridePerm: the "m" in L^{size}_m
+  idx_t tw_m = 0;     ///< kTwiddleDiag/kDiagSeg: m of the parent D_{m,n}
+  idx_t tw_n = 0;     ///< kTwiddleDiag/kDiagSeg: n of the parent D_{m,n}
+  idx_t seg_off = 0;  ///< kDiagSeg: first linear index of the segment
+  idx_t p = 0;        ///< kSmpTag / kTensorPar: processor count
+  idx_t mu = 0;       ///< kSmpTag / kPermBar: cache line length (in cplx)
+  int root_sign = -1; ///< kDFT: -1 forward (w = e^{-2pi i/n}), +1 inverse
+
+  std::vector<FormulaPtr> children;
+
+  /// Number of children (composition factors, tensor operands, summands).
+  [[nodiscard]] std::size_t arity() const noexcept { return children.size(); }
+
+  /// Child accessor with bounds assert.
+  [[nodiscard]] const FormulaPtr& child(std::size_t i) const {
+    assert(i < children.size());
+    return children[i];
+  }
+
+ private:
+  Formula() = default;
+  friend class Builder;
+};
+
+/// Factory for every construct; validates parameters (dimension agreement,
+/// divisibility) at construction so malformed trees cannot exist.
+class Builder {
+ public:
+  static FormulaPtr identity(idx_t n);
+  static FormulaPtr dft(idx_t n, int root_sign = -1);
+  static FormulaPtr wht(idx_t n);
+  static FormulaPtr f2();
+  static FormulaPtr compose(std::vector<FormulaPtr> factors);
+  static FormulaPtr tensor(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr direct_sum(std::vector<FormulaPtr> blocks);
+  static FormulaPtr stride_perm(idx_t mn, idx_t m);
+  static FormulaPtr twiddle(idx_t m, idx_t n, int root_sign = -1);
+  static FormulaPtr diag_seg(idx_t m, idx_t n, idx_t off, idx_t len,
+                             int root_sign = -1);
+  static FormulaPtr smp(idx_t p, idx_t mu, FormulaPtr a);
+  static FormulaPtr tensor_par(idx_t p, FormulaPtr a);
+  static FormulaPtr direct_sum_par(std::vector<FormulaPtr> blocks);
+  static FormulaPtr perm_bar(FormulaPtr perm, idx_t mu);
+  static FormulaPtr vec(idx_t nu, FormulaPtr a);
+  static FormulaPtr vec_tensor(FormulaPtr a, idx_t nu);
+  static FormulaPtr vec_shuffle(idx_t k, idx_t nu);
+
+ private:
+  static std::shared_ptr<Formula> make(Kind k, idx_t size);
+};
+
+// --- convenience free functions (the notation used across the codebase) ---
+
+inline FormulaPtr I(idx_t n) { return Builder::identity(n); }
+inline FormulaPtr DFT(idx_t n, int sign = -1) { return Builder::dft(n, sign); }
+inline FormulaPtr WHT(idx_t n) { return Builder::wht(n); }
+inline FormulaPtr L(idx_t mn, idx_t m) { return Builder::stride_perm(mn, m); }
+inline FormulaPtr Tw(idx_t m, idx_t n, int sign = -1) {
+  return Builder::twiddle(m, n, sign);
+}
+
+/// Deep structural equality (same construct tree, same parameters).
+[[nodiscard]] bool equal(const FormulaPtr& a, const FormulaPtr& b);
+
+/// Deterministic structural hash (for memoization in search/rewriting).
+[[nodiscard]] std::size_t hash_of(const FormulaPtr& f);
+
+/// True iff the formula denotes a permutation matrix (identity, stride
+/// permutations, and tensor/compose/direct-sum combinations thereof).
+[[nodiscard]] bool is_permutation(const FormulaPtr& f);
+
+/// True iff the tree still contains a kDFT nonterminal (needs breakdown).
+[[nodiscard]] bool has_nonterminal(const FormulaPtr& f);
+
+/// True iff the tree still contains an smp(p,mu) tag (needs parallelization
+/// rewriting).
+[[nodiscard]] bool has_smp_tag(const FormulaPtr& f);
+
+/// True iff the tree still contains a vec(nu) tag (needs vectorization
+/// rewriting).
+[[nodiscard]] bool has_vec_tag(const FormulaPtr& f);
+
+/// Number of nodes in the tree (diagnostics / search statistics).
+[[nodiscard]] idx_t node_count(const FormulaPtr& f);
+
+}  // namespace spiral::spl

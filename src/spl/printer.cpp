@@ -1,0 +1,159 @@
+#include "spl/printer.hpp"
+
+#include <sstream>
+
+namespace spiral::spl {
+
+namespace {
+
+void print(const FormulaPtr& f, std::ostringstream& os) {
+  switch (f->kind) {
+    case Kind::kIdentity:
+      os << "I_" << f->n;
+      break;
+    case Kind::kDFT:
+      os << (f->root_sign < 0 ? "DFT_" : "IDFT_") << f->n;
+      break;
+    case Kind::kWHT:
+      os << "WHT_" << f->n;
+      break;
+    case Kind::kF2:
+      os << "F_2";
+      break;
+    case Kind::kCompose: {
+      os << "(";
+      for (std::size_t i = 0; i < f->arity(); ++i) {
+        if (i) os << " . ";
+        print(f->child(i), os);
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kTensor: {
+      os << "(";
+      print(f->child(0), os);
+      os << " (x) ";
+      print(f->child(1), os);
+      os << ")";
+      break;
+    }
+    case Kind::kDirectSum: {
+      os << "(+)[";
+      for (std::size_t i = 0; i < f->arity(); ++i) {
+        if (i) os << ", ";
+        print(f->child(i), os);
+      }
+      os << "]";
+      break;
+    }
+    case Kind::kStridePerm:
+      os << "L^" << f->size << "_" << f->stride;
+      break;
+    case Kind::kTwiddleDiag:
+      os << "D_{" << f->tw_m << "," << f->tw_n << "}";
+      break;
+    case Kind::kDiagSeg:
+      os << "D_{" << f->tw_m << "," << f->tw_n << "}[" << f->seg_off << ".."
+         << (f->seg_off + f->size - 1) << "]";
+      break;
+    case Kind::kSmpTag: {
+      os << "smp(" << f->p << "," << f->mu << "){";
+      print(f->child(0), os);
+      os << "}";
+      break;
+    }
+    case Kind::kTensorPar: {
+      os << "(I_" << f->p << " (x)|| ";
+      print(f->child(0), os);
+      os << ")";
+      break;
+    }
+    case Kind::kDirectSumPar: {
+      os << "(+)||[";
+      for (std::size_t i = 0; i < f->arity(); ++i) {
+        if (i) os << ", ";
+        print(f->child(i), os);
+      }
+      os << "]";
+      break;
+    }
+    case Kind::kPermBar: {
+      os << "(";
+      print(f->child(0), os);
+      os << " (x)- I_" << f->mu << ")";
+      break;
+    }
+    case Kind::kVecTag: {
+      os << "vec(" << f->mu << "){";
+      print(f->child(0), os);
+      os << "}";
+      break;
+    }
+    case Kind::kVecTensor: {
+      os << "(";
+      print(f->child(0), os);
+      os << " (x)v I_" << f->mu << ")";
+      break;
+    }
+    case Kind::kVecShuffle:
+      os << "(I_" << f->n << " (x) L^" << f->mu * f->mu << "_" << f->mu
+         << ")v";
+      break;
+  }
+}
+
+void print_tree(const FormulaPtr& f, int depth, std::ostringstream& os) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  switch (f->kind) {
+    case Kind::kCompose:
+      os << "Compose [" << f->size << "]\n";
+      break;
+    case Kind::kTensor:
+      os << "Tensor [" << f->size << "]\n";
+      break;
+    case Kind::kDirectSum:
+      os << "DirectSum [" << f->size << "]\n";
+      break;
+    case Kind::kSmpTag:
+      os << "smp(" << f->p << "," << f->mu << ") [" << f->size << "]\n";
+      break;
+    case Kind::kTensorPar:
+      os << "TensorPar p=" << f->p << " [" << f->size << "]\n";
+      break;
+    case Kind::kDirectSumPar:
+      os << "DirectSumPar [" << f->size << "]\n";
+      break;
+    case Kind::kPermBar:
+      os << "PermBar mu=" << f->mu << " [" << f->size << "]\n";
+      break;
+    case Kind::kVecTag:
+      os << "vec(" << f->mu << ") [" << f->size << "]\n";
+      break;
+    case Kind::kVecTensor:
+      os << "VecTensor nu=" << f->mu << " [" << f->size << "]\n";
+      break;
+    default: {
+      os << to_string(f) << "\n";
+      return;  // leaf: children already rendered inline
+    }
+  }
+  for (const auto& c : f->children) print_tree(c, depth + 1, os);
+}
+
+}  // namespace
+
+std::string to_string(const FormulaPtr& f) {
+  if (!f) return "<null>";
+  std::ostringstream os;
+  print(f, os);
+  return os.str();
+}
+
+std::string to_tree_string(const FormulaPtr& f) {
+  if (!f) return "<null>\n";
+  std::ostringstream os;
+  print_tree(f, 0, os);
+  return os.str();
+}
+
+}  // namespace spiral::spl

@@ -1,0 +1,19 @@
+// Human-readable rendering of SPL formulas, using notation close to the
+// paper's: (DFT_4 (x) I_8), L^32_4, D_{4,8}, smp(2,4){...}, I_2 (x)|| A,
+// (+)||[...], (L^8_2 (x) I_4) (x)- I_4.
+#pragma once
+
+#include <string>
+
+#include "spl/formula.hpp"
+
+namespace spiral::spl {
+
+/// One-line rendering of the formula tree.
+[[nodiscard]] std::string to_string(const FormulaPtr& f);
+
+/// Multi-line indented rendering (one construct per line), for debugging
+/// large rewritten formulas.
+[[nodiscard]] std::string to_tree_string(const FormulaPtr& f);
+
+}  // namespace spiral::spl

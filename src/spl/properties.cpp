@@ -1,0 +1,179 @@
+#include "spl/properties.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spl/printer.hpp"
+
+namespace spiral::spl {
+
+namespace {
+
+OptimizedCheck fail(const FormulaPtr& f, const std::string& why) {
+  return {false, why + ": " + to_string(f)};
+}
+
+}  // namespace
+
+OptimizedCheck check_fully_optimized(const FormulaPtr& f, idx_t p, idx_t mu) {
+  if (!f) return {false, "null formula"};
+  switch (f->kind) {
+    case Kind::kTensorPar: {
+      if (f->p != p) return fail(f, "parallel tensor with wrong p");
+      if (f->child(0)->size % mu != 0) {
+        return fail(f, "parallel tensor block not a multiple of mu");
+      }
+      return {true, ""};
+    }
+    case Kind::kDirectSumPar: {
+      if (static_cast<idx_t>(f->arity()) != p) {
+        return fail(f, "parallel direct sum with wrong block count");
+      }
+      const idx_t sz = f->child(0)->size;
+      for (const auto& c : f->children) {
+        if (c->size != sz) return fail(f, "unequal parallel blocks");
+        if (c->size % mu != 0) {
+          return fail(f, "parallel block not a multiple of mu");
+        }
+      }
+      return {true, ""};
+    }
+    case Kind::kPermBar: {
+      if (f->mu % mu != 0) {
+        // A coarser granularity (multiple of mu) still moves whole lines.
+        return fail(f, "perm-bar granularity below cache line");
+      }
+      return {true, ""};
+    }
+    case Kind::kCompose: {
+      for (const auto& c : f->children) {
+        auto r = check_fully_optimized(c, p, mu);
+        if (!r.ok) return r;
+      }
+      return {true, ""};
+    }
+    case Kind::kTensor: {
+      // Form (5): I_m (x) A with A fully optimized.
+      if (f->child(0)->kind == Kind::kIdentity) {
+        return check_fully_optimized(f->child(1), p, mu);
+      }
+      return fail(f, "untagged tensor product");
+    }
+    case Kind::kIdentity:
+      return {true, ""};
+    case Kind::kSmpTag:
+      return fail(f, "unresolved smp tag");
+    default:
+      return fail(f, "construct not covered by Definition 1");
+  }
+}
+
+double flop_count(const FormulaPtr& f) {
+  if (!f) return 0.0;
+  switch (f->kind) {
+    case Kind::kIdentity:
+    case Kind::kStridePerm:
+      return 0.0;
+    case Kind::kF2:
+      return 4.0;  // 2 complex additions
+    case Kind::kDFT: {
+      const double n = static_cast<double>(f->n);
+      return 5.0 * n * std::log2(n);
+    }
+    case Kind::kWHT: {
+      // n log2(n) complex additions = 2 n log2(n) real flops.
+      const double n = static_cast<double>(f->n);
+      return 2.0 * n * std::log2(n);
+    }
+    case Kind::kTwiddleDiag:
+    case Kind::kDiagSeg:
+      return 6.0 * static_cast<double>(f->size);  // one complex mul per point
+    case Kind::kCompose:
+    case Kind::kDirectSum:
+    case Kind::kDirectSumPar: {
+      double c = 0.0;
+      for (const auto& ch : f->children) c += flop_count(ch);
+      return c;
+    }
+    case Kind::kTensor:
+      return static_cast<double>(f->child(1)->size) * flop_count(f->child(0)) +
+             static_cast<double>(f->child(0)->size) * flop_count(f->child(1));
+    case Kind::kSmpTag:
+    case Kind::kVecTag:
+      return flop_count(f->child(0));
+    case Kind::kTensorPar:
+      return static_cast<double>(f->p) * flop_count(f->child(0));
+    case Kind::kVecTensor:
+      return static_cast<double>(f->mu) * flop_count(f->child(0));
+    case Kind::kPermBar:
+    case Kind::kVecShuffle:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+namespace {
+
+void accumulate_work(const FormulaPtr& f, idx_t p, int current_proc,
+                     bool inside_parallel, std::vector<double>& work) {
+  switch (f->kind) {
+    case Kind::kTensorPar: {
+      // Block i of I_p (x)|| A runs on processor i.
+      for (idx_t i = 0; i < f->p; ++i) {
+        const int proc = static_cast<int>(i % p);
+        work[static_cast<std::size_t>(proc)] += flop_count(f->child(0));
+      }
+      return;
+    }
+    case Kind::kDirectSumPar: {
+      for (std::size_t i = 0; i < f->arity(); ++i) {
+        const int proc = static_cast<int>(i % static_cast<std::size_t>(p));
+        work[static_cast<std::size_t>(proc)] += flop_count(f->child(i));
+      }
+      return;
+    }
+    case Kind::kCompose:
+    case Kind::kDirectSum: {
+      for (const auto& c : f->children) {
+        accumulate_work(c, p, current_proc, inside_parallel, work);
+      }
+      return;
+    }
+    case Kind::kTensor: {
+      if (f->child(0)->kind == Kind::kIdentity) {
+        // I_m (x) A: m sequential repetitions on the current processor.
+        for (idx_t i = 0; i < f->child(0)->n; ++i) {
+          accumulate_work(f->child(1), p, current_proc, inside_parallel, work);
+        }
+        return;
+      }
+      work[static_cast<std::size_t>(current_proc)] += flop_count(f);
+      return;
+    }
+    case Kind::kSmpTag: {
+      accumulate_work(f->child(0), p, current_proc, inside_parallel, work);
+      return;
+    }
+    default:
+      work[static_cast<std::size_t>(current_proc)] += flop_count(f);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<double> work_per_processor(const FormulaPtr& f, idx_t p) {
+  std::vector<double> work(static_cast<std::size_t>(p), 0.0);
+  accumulate_work(f, p, 0, false, work);
+  return work;
+}
+
+double load_imbalance(const FormulaPtr& f, idx_t p) {
+  const auto w = work_per_processor(f, p);
+  const double mx = *std::max_element(w.begin(), w.end());
+  const double mn = *std::min_element(w.begin(), w.end());
+  if (mn <= 0.0) return mx > 0.0 ? 1e30 : 1.0;
+  return mx / mn;
+}
+
+}  // namespace spiral::spl

@@ -1,0 +1,55 @@
+// Structural properties of formulas, in particular the paper's
+// Definition 1: a formula is *fully optimized* for a p-way shared-memory
+// machine with cache line length mu if it is load-balanced and avoids
+// false sharing, i.e. it is built only from
+//
+//   (4)  I_p (x)|| A          with A in C^{m*mu x m*mu}
+//        (+)||_{i<p} A_i      with A_i in C^{m*mu x m*mu}
+//        P (x)- I_mu          with P a permutation
+//
+//   (5)  I_m (x) A  and  A.B  with A, B fully optimized.
+//
+// The rewriting system's goal (Section 3.1) is to transform tagged
+// formulas until is_fully_optimized() holds; the tests assert this for the
+// derived multicore Cooley-Tukey FFT (14).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spl/formula.hpp"
+
+namespace spiral::spl {
+
+/// Result of checking Definition 1, with an explanation on failure.
+struct OptimizedCheck {
+  bool ok = false;
+  std::string reason;  ///< empty when ok; otherwise the offending construct
+};
+
+/// Checks that `f` is fully optimized for p processors and line length mu
+/// in the sense of Definition 1.
+[[nodiscard]] OptimizedCheck check_fully_optimized(const FormulaPtr& f,
+                                                   idx_t p, idx_t mu);
+
+/// Convenience wrapper around check_fully_optimized().
+[[nodiscard]] inline bool is_fully_optimized(const FormulaPtr& f, idx_t p,
+                                             idx_t mu) {
+  return check_fully_optimized(f, p, mu).ok;
+}
+
+/// Arithmetic cost estimate of a formula in real floating point operations
+/// (complex add = 2 flops, complex mul = 6 flops). DFT_n nonterminals are
+/// costed at the standard 5 n log2(n); permutations cost zero arithmetic.
+[[nodiscard]] double flop_count(const FormulaPtr& f);
+
+/// Arithmetic work assigned to each of the p processors by the parallel
+/// constructs in `f`. Work inside sequential (non-parallel) constructs is
+/// charged to processor 0. Perfect load balance <=> all entries equal.
+[[nodiscard]] std::vector<double> work_per_processor(const FormulaPtr& f,
+                                                     idx_t p);
+
+/// max/min ratio of work_per_processor (1.0 == perfectly balanced).
+[[nodiscard]] double load_imbalance(const FormulaPtr& f, idx_t p);
+
+}  // namespace spiral::spl

@@ -1,0 +1,32 @@
+// Roots of unity and twiddle-diagonal entries.
+//
+// The Cooley-Tukey twiddle matrix D_{m,n} (paper eq. (1)) is diagonal with
+// entry w_{mn}^{i*j} at linear position i*n + j (0 <= i < m, 0 <= j < n),
+// where w_N = e^{-2 pi i / N} for the forward transform.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "util/common.hpp"
+
+namespace spiral::spl {
+
+/// w_N^k with w_N = e^{sign * 2 pi i / N}; sign = -1 for the forward DFT.
+[[nodiscard]] inline cplx root_of_unity(idx_t n, idx_t k, int sign = -1) {
+  const double theta =
+      static_cast<double>(sign) * 2.0 * std::numbers::pi *
+      static_cast<double>(k % n) / static_cast<double>(n);
+  return {std::cos(theta), std::sin(theta)};
+}
+
+/// Entry of D_{m,n} at linear diagonal index t (= i*n + j).
+[[nodiscard]] inline cplx twiddle_entry(idx_t m, idx_t n, idx_t t,
+                                        int sign = -1) {
+  assert(t >= 0 && t < m * n);
+  const idx_t i = t / n;
+  const idx_t j = t % n;
+  return root_of_unity(m * n, i * j, sign);
+}
+
+}  // namespace spiral::spl

@@ -1,0 +1,85 @@
+// Barriers for the thread pool.
+//
+// The paper attributes part of Spiral's parallel win at small sizes to
+// "low-latency minimal overhead synchronization" (Section 3.2): when code
+// is generated for a fixed N, p and mu, the synchronization between the
+// stages of formula (14) can be a busy-wait barrier between p pinned
+// threads instead of a general-purpose condition-variable barrier. Both
+// implementations are provided; bench/bench_barriers.cpp measures them
+// (ablation A2 in DESIGN.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/common.hpp"
+
+namespace spiral::threading {
+
+/// Sense-reversing centralized spin barrier for a fixed set of
+/// participants. wait() spins (with a CPU relax hint), falling back to
+/// yield after a bounded number of spins so the library stays usable on
+/// oversubscribed machines (like a 1-core CI box).
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int participants)
+      : participants_(participants), remaining_(participants) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arrival: reset and release everyone.
+      remaining_.store(participants_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return;
+    }
+    int spins = 0;
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      if (++spins > kSpinLimit) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  static constexpr int kSpinLimit = 1 << 12;
+  const int participants_;
+  std::atomic<int> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+/// Classical mutex/condition-variable barrier (the "portable library"
+/// flavour whose overhead the paper's generated code avoids).
+class CondVarBarrier {
+ public:
+  explicit CondVarBarrier(int participants) : participants_(participants) {}
+
+  CondVarBarrier(const CondVarBarrier&) = delete;
+  CondVarBarrier& operator=(const CondVarBarrier&) = delete;
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(m_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == participants_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+
+ private:
+  const int participants_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace spiral::threading

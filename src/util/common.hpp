@@ -1,0 +1,57 @@
+// Common scalar types and small integer helpers shared by every module.
+//
+// The whole library computes on interleaved complex<double>, matching the
+// paper: the cache-line length mu is measured in complex numbers, so one
+// complex element is the unit of data layout throughout.
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace spiral {
+
+/// Complex scalar used throughout the library (64-bit real/imag).
+using cplx = std::complex<double>;
+
+/// Index type for element positions inside vectors/formulas.
+/// Signed on purpose: strides may be negative in intermediate arithmetic.
+using idx_t = std::int64_t;
+
+namespace util {
+
+/// True iff n is a power of two (n >= 1).
+constexpr bool is_pow2(idx_t n) noexcept { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Exact log2 for powers of two; asserts on non-powers.
+constexpr int log2_exact(idx_t n) noexcept {
+  assert(is_pow2(n));
+  int k = 0;
+  while ((idx_t{1} << k) < n) ++k;
+  return k;
+}
+
+/// Floor of log2 (n >= 1).
+constexpr int log2_floor(idx_t n) noexcept {
+  assert(n >= 1);
+  int k = 0;
+  while ((idx_t{1} << (k + 1)) <= n) ++k;
+  return k;
+}
+
+/// Integer ceiling division.
+constexpr idx_t ceil_div(idx_t a, idx_t b) noexcept { return (a + b - 1) / b; }
+
+/// True iff b divides a exactly (b > 0).
+constexpr bool divides(idx_t b, idx_t a) noexcept { return b > 0 && a % b == 0; }
+
+/// Throws std::invalid_argument with `msg` when `cond` is false.
+/// Used to enforce rule preconditions (e.g. "p | n" from Table 1).
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace util
+}  // namespace spiral

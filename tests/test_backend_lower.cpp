@@ -1,0 +1,212 @@
+// Tests for lowering and loop-merging: every lowered (and fused) program
+// must compute the same matrix as the formula it came from, and fusion
+// must actually eliminate the data passes.
+#include <gtest/gtest.h>
+
+#include "backend/lower.hpp"
+#include "backend/program.hpp"
+#include "rewrite/breakdown.hpp"
+#include "rewrite/expand.hpp"
+#include "rewrite/multicore_fft.hpp"
+#include "spl/printer.hpp"
+#include "test_helpers.hpp"
+
+namespace spiral::backend {
+namespace {
+
+using spiral::testing::fft_tolerance;
+using spiral::testing::max_diff;
+using spl::Builder;
+using spl::DFT;
+using spl::I;
+using spl::Kind;
+using spl::L;
+using spl::Tw;
+
+/// Executes a stage list sequentially and compares with dense semantics.
+void expect_program_matches_formula(const spl::FormulaPtr& f,
+                                    const StageList& list,
+                                    std::uint64_t seed = 1) {
+  ASSERT_EQ(list.n, f->size);
+  util::Rng rng(seed);
+  const auto x = rng.complex_signal(f->size);
+  util::cvec y(x.size());
+  Program prog(list, ExecPolicy::kSequential);
+  prog.execute(x.data(), y.data());
+  const auto ref = spl::to_dense(f).apply(x);
+  EXPECT_LT(max_diff(y, ref), fft_tolerance(f->size))
+      << "formula: " << spl::to_string(f) << "\n" << list.summary();
+}
+
+TEST(Normalize, PullsComposeOutOfTensor) {
+  auto f = Builder::tensor(Builder::compose({DFT(2), Tw(2, 1, -1)}), I(4));
+  auto g = normalize(f);
+  EXPECT_EQ(g->kind, Kind::kCompose);
+  for (const auto& c : g->children) EXPECT_EQ(c->kind, Kind::kTensor);
+  spiral::testing::expect_same_matrix(f, g);
+}
+
+TEST(Normalize, SplitsGeneralTensor) {
+  auto f = Builder::tensor(DFT(2), DFT(4));
+  auto g = normalize(f);
+  EXPECT_EQ(g->kind, Kind::kCompose);
+  spiral::testing::expect_same_matrix(f, g);
+}
+
+TEST(Normalize, DistributesOverTensorPar) {
+  auto f = Builder::tensor_par(2, Builder::compose({DFT(4), Tw(2, 2)}));
+  auto g = normalize(f);
+  EXPECT_EQ(g->kind, Kind::kCompose);
+  for (const auto& c : g->children) EXPECT_EQ(c->kind, Kind::kTensorPar);
+  spiral::testing::expect_same_matrix(f, g);
+}
+
+TEST(Lower, PlainCodeletLeaf) {
+  auto f = DFT(8);
+  expect_program_matches_formula(f, lower(f));
+}
+
+TEST(Lower, IdentityBecomesCopy) {
+  auto f = I(16);
+  auto list = lower(f);
+  ASSERT_EQ(list.stages.size(), 1u);
+  EXPECT_FALSE(list.stages[0].is_compute);
+  expect_program_matches_formula(f, list);
+}
+
+TEST(Lower, TensorIdentityLeft) {
+  auto f = Builder::tensor(I(4), DFT(8));
+  auto list = lower(f);
+  ASSERT_EQ(list.stages.size(), 1u);
+  EXPECT_EQ(list.stages[0].iters, 4);
+  EXPECT_EQ(list.stages[0].cn, 8);
+  expect_program_matches_formula(f, list);
+}
+
+TEST(Lower, TensorIdentityRight) {
+  auto f = Builder::tensor(DFT(4), I(8));
+  auto list = lower(f);
+  ASSERT_EQ(list.stages.size(), 1u);
+  EXPECT_EQ(list.stages[0].iters, 8);
+  expect_program_matches_formula(f, list);
+}
+
+TEST(Lower, NestedTensors) {
+  auto f = Builder::tensor(I(2), Builder::tensor(DFT(4), I(4)));
+  expect_program_matches_formula(f, lower(f));
+  auto g = Builder::tensor(Builder::tensor(I(2), DFT(4)), I(2));
+  expect_program_matches_formula(g, lower(normalize(g)));
+}
+
+TEST(Lower, StridePermStage) {
+  auto f = L(32, 4);
+  expect_program_matches_formula(f, lower(f));
+}
+
+TEST(Lower, PermBarStage) {
+  auto f = Builder::perm_bar(L(8, 2), 4);
+  expect_program_matches_formula(f, lower(f));
+}
+
+TEST(Lower, TwiddleStage) {
+  auto f = Tw(4, 8);
+  expect_program_matches_formula(f, lower(f));
+}
+
+TEST(Lower, DirectSumParOfSegments) {
+  std::vector<spl::FormulaPtr> segs;
+  for (idx_t i = 0; i < 4; ++i) {
+    segs.push_back(Builder::diag_seg(8, 4, i * 8, 8));
+  }
+  auto f = Builder::direct_sum_par(segs);
+  auto list = lower(f);
+  ASSERT_EQ(list.stages.size(), 1u);
+  EXPECT_EQ(list.stages[0].parallel_p, 4);
+  expect_program_matches_formula(f, list);
+}
+
+TEST(Lower, CooleyTukeyFormula) {
+  auto f = rewrite::cooley_tukey(4, 8);
+  expect_program_matches_formula(f, lower(f));
+}
+
+TEST(Lower, RejectsUnexpandedLargeDft) {
+  EXPECT_THROW((void)lower(DFT(128)), std::invalid_argument);
+}
+
+TEST(Lower, RejectsUnresolvedTag) {
+  EXPECT_THROW((void)lower(Builder::smp(2, 4, DFT(16))),
+               std::invalid_argument);
+}
+
+TEST(Fuse, EliminatesPermutationStages) {
+  auto f = rewrite::cooley_tukey(8, 8);
+  auto unfused = lower(f);
+  auto fused = lower_fused(f);
+  EXPECT_GT(unfused.stages.size(), fused.stages.size());
+  // All pure data stages must have been folded into the two compute loops.
+  EXPECT_EQ(fused.stages.size(), 2u) << fused.summary();
+  for (const auto& s : fused.stages) EXPECT_TRUE(s.is_compute);
+  expect_program_matches_formula(f, fused);
+}
+
+TEST(Fuse, PreservesSemanticsOnMulticoreFormula) {
+  auto f = rewrite::multicore_ct_reference(8, 8, 2, 2);
+  expect_program_matches_formula(f, lower_fused(f), 3);
+}
+
+TEST(Fuse, MulticoreFormulaHasNoExplicitDataStage) {
+  // The paper: "permutations are usually not performed explicitly, but
+  // folded with adjacent computation blocks".
+  auto f = rewrite::multicore_ct_reference(16, 16, 2, 4);
+  auto fused = lower_fused(f);
+  for (const auto& s : fused.stages) {
+    EXPECT_TRUE(s.is_compute) << "unfused data stage: " << s.label;
+  }
+  expect_program_matches_formula(f, fused, 4);
+}
+
+TEST(Fuse, ExpandedMulticoreFormulaSemantics) {
+  auto f = rewrite::derive_multicore_ct(1 << 8, 1 << 4, 2, 2);
+  auto g = rewrite::expand_dfts_balanced(f, 8);
+  expect_program_matches_formula(g, lower_fused(g), 5);
+}
+
+TEST(Fuse, PurePermProgramSurvives) {
+  auto f = L(64, 8);
+  auto fused = lower_fused(f);
+  ASSERT_EQ(fused.stages.size(), 1u);
+  EXPECT_FALSE(fused.stages[0].is_compute);
+  expect_program_matches_formula(f, fused);
+}
+
+TEST(Fuse, ComposedPermsCollapseToOne) {
+  auto f = Builder::compose({L(64, 8), L(64, 4), Tw(8, 8)});
+  auto fused = lower_fused(f);
+  EXPECT_EQ(fused.stages.size(), 1u) << fused.summary();
+  expect_program_matches_formula(f, fused, 7);
+}
+
+TEST(Fuse, SequentialExpansionMatchesDftUpTo1024) {
+  for (idx_t n : {64, 256, 1024}) {
+    auto tree = rewrite::balanced_ruletree(n);
+    auto f = rewrite::formula_from_ruletree(tree);
+    auto fused = lower_fused(f);
+    util::Rng rng(n);
+    const auto x = rng.complex_signal(n);
+    util::cvec y(x.size());
+    Program prog(fused, ExecPolicy::kSequential);
+    prog.execute(x.data(), y.data());
+    const auto ref = spiral::testing::reference_dft(x);
+    EXPECT_LT(max_diff(y, ref), fft_tolerance(n)) << "n=" << n;
+  }
+}
+
+TEST(StageTest, FlopsAccounting) {
+  auto list = lower_fused(rewrite::cooley_tukey(8, 8));
+  EXPECT_GT(list.flops(), 0.0);
+  EXPECT_FALSE(list.summary().empty());
+}
+
+}  // namespace
+}  // namespace spiral::backend

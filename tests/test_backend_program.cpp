@@ -1,0 +1,180 @@
+// Tests for the Program executor: all execution policies produce
+// identical results; parallel stages work through the thread pool and
+// OpenMP; in-place execution; repeated execution.
+#include <gtest/gtest.h>
+
+#include "backend/lower.hpp"
+#include "backend/program.hpp"
+#include "rewrite/expand.hpp"
+#include "rewrite/multicore_fft.hpp"
+#include "test_helpers.hpp"
+
+namespace spiral::backend {
+namespace {
+
+using spiral::testing::fft_tolerance;
+using spiral::testing::max_diff;
+using spiral::testing::reference_dft;
+
+/// Fused multicore program for DFT_n on p "processors".
+StageList multicore_program(idx_t n, idx_t p, idx_t mu) {
+  auto f = rewrite::derive_multicore_ct(
+      n, /*m=*/idx_t{1} << (util::log2_exact(n) / 2), p, mu);
+  return lower_fused(rewrite::expand_dfts_balanced(f));
+}
+
+TEST(Program, SequentialMatchesReference) {
+  const idx_t n = 256;
+  auto list = multicore_program(n, 2, 2);
+  Program prog(list, ExecPolicy::kSequential);
+  util::Rng rng(1);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  prog.execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n));
+}
+
+TEST(Program, ThreadPoolMatchesSequential) {
+  const idx_t n = 1024;
+  auto list = multicore_program(n, 4, 2);
+  util::Rng rng(2);
+  const auto x = rng.complex_signal(n);
+  util::cvec y_seq(x.size()), y_par(x.size());
+  Program seq(list, ExecPolicy::kSequential);
+  seq.execute(x.data(), y_seq.data());
+  threading::ThreadPool pool(4);
+  Program par(list, ExecPolicy::kThreadPool, &pool);
+  par.execute(x.data(), y_par.data());
+  EXPECT_LT(max_diff(y_par, y_seq), 1e-14) << "policies disagree";
+}
+
+TEST(Program, PoolSmallerThanStageParallelism) {
+  // A plan generated for p=4 must still run correctly on a 2-thread pool.
+  const idx_t n = 1024;
+  auto list = multicore_program(n, 4, 2);
+  util::Rng rng(3);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  threading::ThreadPool pool(2);
+  Program par(list, ExecPolicy::kThreadPool, &pool);
+  par.execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n));
+}
+
+TEST(Program, OpenMPMatchesSequential) {
+  if (!openmp_available()) GTEST_SKIP() << "built without OpenMP";
+  const idx_t n = 512;
+  auto list = multicore_program(n, 2, 2);
+  util::Rng rng(4);
+  const auto x = rng.complex_signal(n);
+  util::cvec y_seq(x.size()), y_omp(x.size());
+  Program(list, ExecPolicy::kSequential).execute(x.data(), y_seq.data());
+  Program(list, ExecPolicy::kOpenMP).execute(x.data(), y_omp.data());
+  EXPECT_LT(max_diff(y_omp, y_seq), 1e-14);
+}
+
+TEST(Program, InPlaceExecution) {
+  const idx_t n = 256;
+  auto list = multicore_program(n, 2, 2);
+  util::Rng rng(5);
+  auto x = rng.complex_signal(n);
+  const auto ref = reference_dft(x);
+  Program prog(list, ExecPolicy::kSequential);
+  prog.execute(x.data(), x.data());
+  EXPECT_LT(max_diff(x, ref), fft_tolerance(n));
+}
+
+TEST(Program, SingleStageInPlace) {
+  auto list = lower_fused(spl::L(64, 8));
+  util::Rng rng(6);
+  auto x = rng.complex_signal(64);
+  const auto ref = spl::to_dense(spl::L(64, 8)).apply(x);
+  Program prog(list, ExecPolicy::kSequential);
+  prog.execute(x.data(), x.data());
+  EXPECT_LT(max_diff(x, ref), 1e-15);
+}
+
+TEST(Program, RepeatedExecutionIsDeterministic) {
+  const idx_t n = 512;
+  auto list = multicore_program(n, 2, 4);
+  threading::ThreadPool pool(2);
+  Program prog(list, ExecPolicy::kThreadPool, &pool);
+  util::Rng rng(7);
+  const auto x = rng.complex_signal(n);
+  util::cvec y1(x.size()), y2(x.size());
+  prog.execute(x.data(), y1.data());
+  for (int rep = 0; rep < 50; ++rep) {
+    prog.execute(x.data(), y2.data());
+    ASSERT_LT(max_diff(y1, y2), 0.0 + 1e-300) << "rep " << rep;
+  }
+}
+
+TEST(Program, ThreadPoolRequiredForPoolPolicy) {
+  auto list = multicore_program(256, 2, 2);
+  Program prog(list, ExecPolicy::kThreadPool, nullptr);
+  util::cvec x(256), y(256);
+  EXPECT_THROW(prog.execute(x.data(), y.data()), std::invalid_argument);
+  // Attaching a pool afterwards makes it executable.
+  threading::ThreadPool pool(2);
+  prog.set_pool(&pool);
+  EXPECT_NO_THROW(prog.execute(x.data(), y.data()));
+}
+
+TEST(Program, LinearityProperty) {
+  // DFT(a*x + y) == a*DFT(x) + DFT(y): a property check on the whole
+  // pipeline (plan reuse across inputs).
+  const idx_t n = 256;
+  auto list = multicore_program(n, 2, 2);
+  Program prog(list, ExecPolicy::kSequential);
+  util::Rng rng(8);
+  const auto x = rng.complex_signal(n);
+  const auto y = rng.complex_signal(n);
+  const cplx a{0.7, -1.3};
+  util::cvec combo(n);
+  for (idx_t i = 0; i < n; ++i) {
+    combo[size_t(i)] = a * x[size_t(i)] + y[size_t(i)];
+  }
+  util::cvec fx(n), fy(n), fc(n);
+  prog.execute(x.data(), fx.data());
+  prog.execute(y.data(), fy.data());
+  prog.execute(combo.data(), fc.data());
+  double d = 0.0;
+  for (idx_t i = 0; i < n; ++i) {
+    d = std::max(d, std::abs(fc[size_t(i)] - (a * fx[size_t(i)] +
+                                              fy[size_t(i)])));
+  }
+  EXPECT_LT(d, fft_tolerance(n));
+}
+
+TEST(Program, ImpulseResponseIsAllOnes) {
+  // DFT of the unit impulse is the all-ones vector.
+  const idx_t n = 256;
+  auto list = multicore_program(n, 2, 2);
+  Program prog(list, ExecPolicy::kSequential);
+  util::cvec x(n, cplx{0, 0});
+  x[0] = cplx{1, 0};
+  util::cvec y(n);
+  prog.execute(x.data(), y.data());
+  for (idx_t i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(y[size_t(i)] - cplx{1, 0}), 1e-12) << i;
+  }
+}
+
+TEST(Program, ParsevalEnergyConservation) {
+  const idx_t n = 1024;
+  auto list = multicore_program(n, 4, 2);
+  Program prog(list, ExecPolicy::kSequential);
+  util::Rng rng(9);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(n);
+  prog.execute(x.data(), y.data());
+  double ex = 0.0, ey = 0.0;
+  for (idx_t i = 0; i < n; ++i) {
+    ex += std::norm(x[size_t(i)]);
+    ey += std::norm(y[size_t(i)]);
+  }
+  EXPECT_NEAR(ey, ex * static_cast<double>(n), 1e-6 * ex * n);
+}
+
+}  // namespace
+}  // namespace spiral::backend

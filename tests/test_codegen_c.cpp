@@ -1,0 +1,132 @@
+// Integration tests for the C code generator: emit a program, compile it
+// with the system C compiler, run it, and check its self-test result.
+// This exercises the full Spiral pipeline ending in actual generated code.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "backend/codegen_c.hpp"
+#include "backend/lower.hpp"
+#include "rewrite/breakdown.hpp"
+#include "rewrite/expand.hpp"
+#include "rewrite/multicore_fft.hpp"
+
+namespace spiral::backend {
+namespace {
+
+/// Writes `src` to dir/name.c, compiles and runs it; returns the exit
+/// status of the generated binary (or -1 on compile failure).
+int compile_and_run(const std::string& src, const std::string& name,
+                    const std::string& extra_flags) {
+  const std::string dir = ::testing::TempDir();
+  const std::string cfile = dir + "/" + name + ".c";
+  const std::string bin = dir + "/" + name + ".bin";
+  {
+    std::ofstream os(cfile);
+    os << src;
+  }
+  const std::string compile = "cc -O2 -std=c99 " + extra_flags + " -o " +
+                              bin + " " + cfile + " -lm 2>" + dir + "/" +
+                              name + ".log";
+  if (std::system(compile.c_str()) != 0) return -1;
+  const int rc = std::system(bin.c_str());
+  return WEXITSTATUS(rc);
+}
+
+TEST(CodegenC, SequentialProgramSelfTests) {
+  auto f = rewrite::formula_from_ruletree(rewrite::balanced_ruletree(64));
+  auto list = lower_fused(f);
+  CodegenOptions opts;
+  opts.function_name = "dft64";
+  opts.emit_main = true;
+  const std::string src = emit_c(list, opts);
+  EXPECT_NE(src.find("void dft64"), std::string::npos);
+  EXPECT_EQ(compile_and_run(src, "seq64", ""), 0);
+}
+
+TEST(CodegenC, MulticoreOpenMPProgramSelfTests) {
+  auto f = rewrite::derive_multicore_ct(256, 16, 2, 2);
+  auto g = rewrite::expand_dfts_balanced(f);
+  auto list = lower_fused(g);
+  CodegenOptions opts;
+  opts.function_name = "dft256_smp";
+  opts.threading = CodegenThreading::kOpenMP;
+  opts.emit_main = true;
+  const std::string src = emit_c(list, opts);
+  EXPECT_NE(src.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_EQ(compile_and_run(src, "omp256", "-fopenmp"), 0);
+}
+
+TEST(CodegenC, MulticorePthreadsProgramSelfTests) {
+  auto f = rewrite::derive_multicore_ct(256, 16, 2, 2);
+  auto g = rewrite::expand_dfts_balanced(f);
+  auto list = lower_fused(g);
+  CodegenOptions opts;
+  opts.function_name = "dft256_pt";
+  opts.threading = CodegenThreading::kPthreads;
+  opts.emit_main = true;
+  const std::string src = emit_c(list, opts);
+  EXPECT_NE(src.find("pthread_create"), std::string::npos);
+  EXPECT_EQ(compile_and_run(src, "pt256", "-pthread"), 0);
+}
+
+TEST(CodegenC, PersistentPoolProgramSelfTests) {
+  // The paper's generated-code execution model: persistent team +
+  // sense-reversing spin barriers, created on first call.
+  auto f = rewrite::derive_multicore_ct(256, 16, 2, 2);
+  auto g = rewrite::expand_dfts_balanced(f);
+  auto list = lower_fused(g);
+  CodegenOptions opts;
+  opts.function_name = "dft256_pool";
+  opts.threading = CodegenThreading::kPthreadsPool;
+  opts.emit_main = true;
+  const std::string src = emit_c(list, opts);
+  EXPECT_NE(src.find("pool_barrier"), std::string::npos);
+  EXPECT_NE(src.find("sense"), std::string::npos);
+  EXPECT_NE(src.find("pthread_create"), std::string::npos);
+  EXPECT_EQ(compile_and_run(src, "pool256", "-pthread"), 0);
+}
+
+TEST(CodegenC, WhtProgramSelfTests) {
+  // Generated WHT code: butterflies only. The self-test main checks
+  // against the direct DFT, which does not apply here, so emit without
+  // main and link a handwritten driver instead? Simpler: validate the
+  // source compiles as a translation unit.
+  auto f = rewrite::expand_whts(spl::WHT(64), 8);
+  auto list = lower_fused(f);
+  CodegenOptions opts;
+  opts.function_name = "wht64";
+  const std::string src = emit_c(list, opts);
+  EXPECT_NE(src.find("static void wht8"), std::string::npos);
+  const std::string dir = ::testing::TempDir();
+  const std::string cfile = dir + "/wht64.c";
+  {
+    std::ofstream os(cfile);
+    os << src;
+  }
+  const std::string compile =
+      "cc -O2 -std=c99 -c -o " + dir + "/wht64.o " + cfile;
+  EXPECT_EQ(std::system(compile.c_str()), 0);
+}
+
+TEST(CodegenC, EmitsTablesAndCodelets) {
+  auto f = rewrite::formula_from_ruletree(rewrite::default_ruletree(64, 8));
+  const std::string src = emit_c(lower_fused(f));
+  EXPECT_NE(src.find("static const int s0_in"), std::string::npos);
+  EXPECT_NE(src.find("static void dft8f"), std::string::npos);
+  // No parallel constructs requested:
+  EXPECT_EQ(src.find("pthread"), std::string::npos);
+  EXPECT_EQ(src.find("omp"), std::string::npos);
+}
+
+TEST(CodegenC, GeneratedSourceMentionsStages) {
+  auto f = rewrite::cooley_tukey(8, 8);
+  const std::string src = emit_c(lower_fused(f));
+  EXPECT_NE(src.find("stage0"), std::string::npos);
+  EXPECT_NE(src.find("stage1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spiral::backend

@@ -1,0 +1,137 @@
+// Tests for the evolutionary ruletree search: operator validity
+// (mutation/crossover always yield well-formed same-size trees),
+// determinism, and search quality relative to random sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "search/evolution.hpp"
+
+namespace spiral::search {
+namespace {
+
+using rewrite::BreakdownKind;
+using rewrite::RuleTreePtr;
+
+/// Validates ruletree structure: sizes consistent, leaves within limit.
+void expect_valid(const RuleTreePtr& t, idx_t leaf) {
+  ASSERT_NE(t, nullptr);
+  if (t->kind == BreakdownKind::kBaseCase) {
+    EXPECT_LE(t->n, leaf);
+    EXPECT_GE(t->n, 2);
+    return;
+  }
+  ASSERT_NE(t->left, nullptr);
+  ASSERT_NE(t->right, nullptr);
+  EXPECT_EQ(t->n, t->left->n * t->right->n);
+  expect_valid(t->left, leaf);
+  expect_valid(t->right, leaf);
+}
+
+double leaf_pref_cost(const RuleTreePtr& t) {
+  if (t->kind == BreakdownKind::kBaseCase) {
+    return std::abs(double(t->n) - 16.0) + 1.0;
+  }
+  return leaf_pref_cost(t->left) + leaf_pref_cost(t->right) + 0.1;
+}
+
+TEST(Evolution, SampledTreesAreValid) {
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    auto t = sample_ruletree(1 << 10, 32, rng);
+    EXPECT_EQ(t->n, 1 << 10);
+    expect_valid(t, 32);
+  }
+}
+
+TEST(Evolution, MutationPreservesSizeAndValidity) {
+  util::Rng rng(2);
+  auto t = sample_ruletree(1 << 8, 16, rng);
+  for (int i = 0; i < 200; ++i) {
+    t = mutate_ruletree(t, 16, rng);
+    EXPECT_EQ(t->n, 1 << 8);
+    expect_valid(t, 16);
+  }
+}
+
+TEST(Evolution, MutationEventuallyChangesTree) {
+  util::Rng rng(3);
+  auto t = sample_ruletree(1 << 8, 16, rng);
+  bool changed = false;
+  for (int i = 0; i < 50 && !changed; ++i) {
+    auto m = mutate_ruletree(t, 16, rng);
+    changed = rewrite::to_string(m) != rewrite::to_string(t);
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Evolution, CrossoverPreservesSizeAndValidity) {
+  util::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    auto a = sample_ruletree(1 << 8, 16, rng);
+    auto b = sample_ruletree(1 << 8, 16, rng);
+    auto c = crossover_ruletrees(a, b, rng);
+    EXPECT_EQ(c->n, 1 << 8);
+    expect_valid(c, 16);
+  }
+}
+
+TEST(Evolution, DeterministicGivenSeed) {
+  EvolutionOptions opt;
+  opt.population = 8;
+  opt.generations = 4;
+  util::Rng r1(7), r2(7);
+  const auto a = evolutionary_search(1 << 8, leaf_pref_cost, opt, r1);
+  const auto b = evolutionary_search(1 << 8, leaf_pref_cost, opt, r2);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_EQ(rewrite::to_string(a.tree), rewrite::to_string(b.tree));
+}
+
+TEST(Evolution, BeatsOrMatchesRandomWithSameBudget) {
+  EvolutionOptions opt;
+  opt.population = 12;
+  opt.generations = 8;
+  util::Rng r1(11);
+  const auto evo = evolutionary_search(1 << 10, leaf_pref_cost, opt, r1);
+  util::Rng r2(11);
+  const auto rnd =
+      random_search(1 << 10, leaf_pref_cost, evo.evaluations, r2, 32);
+  EXPECT_LE(evo.cost, rnd.cost * 1.05);  // evolution at least competitive
+}
+
+TEST(Evolution, ConvergesTowardOptimumOnDecomposableCost) {
+  // leaf_pref_cost's optimum uses only DFT_16 leaves; evolution should
+  // find it (or close) on a small size.
+  EvolutionOptions opt;
+  opt.population = 16;
+  opt.generations = 12;
+  util::Rng rng(13);
+  const auto r = evolutionary_search(1 << 8, leaf_pref_cost, opt, rng);
+  const auto best = exhaustive_search(1 << 8, leaf_pref_cost, 32);
+  EXPECT_LE(r.cost, best.cost * 1.5);
+}
+
+TEST(Evolution, RejectsBadParameters) {
+  EvolutionOptions opt;
+  opt.population = 1;
+  util::Rng rng(1);
+  EXPECT_THROW((void)evolutionary_search(64, leaf_pref_cost, opt, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)evolutionary_search(
+                   24, leaf_pref_cost, EvolutionOptions{}, rng),
+               std::invalid_argument);
+}
+
+TEST(Evolution, TracksEvaluationCount) {
+  EvolutionOptions opt;
+  opt.population = 8;
+  opt.generations = 3;
+  util::Rng rng(17);
+  const auto r = evolutionary_search(1 << 8, leaf_pref_cost, opt, rng);
+  // population initial evals + (population - elites) per generation.
+  EXPECT_EQ(r.evaluations,
+            opt.population + opt.generations * (opt.population - opt.elites));
+}
+
+}  // namespace
+}  // namespace spiral::search

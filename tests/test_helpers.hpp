@@ -1,0 +1,58 @@
+// Shared helpers for the test suite: tolerant complex comparisons and
+// reference DFT utilities.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spl/dense.hpp"
+#include "spl/formula.hpp"
+#include "spl/twiddle.hpp"
+#include "util/aligned_vector.hpp"
+#include "util/rng.hpp"
+
+namespace spiral::testing {
+
+/// Numerical tolerance for comparing FFT outputs. Scales mildly with the
+/// transform size to absorb accumulated rounding.
+inline double fft_tolerance(idx_t n) {
+  return 1e-10 * std::max<double>(1.0, std::log2(static_cast<double>(n))) *
+         std::sqrt(static_cast<double>(n));
+}
+
+/// Max |a[i] - b[i]|.
+inline double max_diff(const util::cvec& a, const util::cvec& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    d = std::max(d, std::abs(a[i] - b[i]));
+  }
+  return d;
+}
+
+/// Asserts that two formulas denote the same matrix (dense comparison).
+inline void expect_same_matrix(const spl::FormulaPtr& a,
+                               const spl::FormulaPtr& b, double tol = 1e-12) {
+  ASSERT_EQ(a->size, b->size);
+  const auto da = spl::to_dense(a);
+  const auto db = spl::to_dense(b);
+  EXPECT_LE(da.max_abs_diff(db), tol * std::sqrt(double(a->size)))
+      << "formulas differ as matrices";
+}
+
+/// Reference DFT by direct summation, O(n^2): the semantic ground truth.
+inline util::cvec reference_dft(const util::cvec& x, int sign = -1) {
+  const idx_t n = static_cast<idx_t>(x.size());
+  util::cvec y(x.size());
+  for (idx_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (idx_t l = 0; l < n; ++l) {
+      acc += spl::root_of_unity(n, k * l, sign) * x[size_t(l)];
+    }
+    y[size_t(k)] = acc;
+  }
+  return y;
+}
+
+}  // namespace spiral::testing

@@ -1,0 +1,110 @@
+// Unit tests for the cache model, directory and machine configs.
+#include <gtest/gtest.h>
+
+#include "machine/cache.hpp"
+#include "machine/config.hpp"
+
+namespace spiral::machine {
+namespace {
+
+TEST(CacheModel, MissThenHit) {
+  CacheModel c({1024, 4}, 64);
+  EXPECT_FALSE(c.access(7));
+  EXPECT_TRUE(c.access(7));
+  EXPECT_TRUE(c.access(7));
+}
+
+TEST(CacheModel, CapacityEviction) {
+  // 1KB cache, 64B lines -> 16 lines. Touching 32 distinct lines twice
+  // with LRU must evict the first round.
+  CacheModel c({1024, 16}, 64);  // fully associative (16 ways, 1 set)
+  for (line_t l = 0; l < 32; ++l) EXPECT_FALSE(c.access(l));
+  // The first 16 lines were evicted by the second 16.
+  for (line_t l = 0; l < 16; ++l) EXPECT_FALSE(c.access(l));
+}
+
+TEST(CacheModel, LruKeepsHotLine) {
+  CacheModel c({4 * 64, 4}, 64);  // 4 lines, fully associative
+  c.access(1);
+  c.access(2);
+  c.access(3);
+  c.access(4);
+  c.access(1);          // refresh line 1
+  c.access(5);          // evicts LRU (=2), not 1
+  EXPECT_TRUE(c.access(1));
+  EXPECT_FALSE(c.access(2));
+}
+
+TEST(CacheModel, InvalidateRemovesLine) {
+  CacheModel c({1024, 4}, 64);
+  c.access(9);
+  EXPECT_TRUE(c.access(9));
+  c.invalidate(9);
+  EXPECT_FALSE(c.access(9));
+}
+
+TEST(CacheModel, ClearEmptiesEverything) {
+  CacheModel c({1024, 4}, 64);
+  for (line_t l = 0; l < 8; ++l) c.access(l);
+  c.clear();
+  for (line_t l = 0; l < 8; ++l) EXPECT_FALSE(c.access(l));
+}
+
+TEST(CacheModel, SetConflictsEvict) {
+  // Direct-mapped (1 way): two lines mapping to the same set thrash.
+  CacheModel c({64 * 8, 1}, 64);  // 8 sets, 1 way
+  const idx_t sets = c.num_sets();
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(sets));      // same set as 0
+  EXPECT_FALSE(c.access(0));         // evicted by the conflict
+}
+
+TEST(Directory, TracksWriters) {
+  Directory d;
+  auto& st = d.state(42);
+  EXPECT_EQ(st.last_writer, -1);
+  st.last_writer = 2;
+  st.writer_stage = 7;
+  EXPECT_EQ(d.state(42).last_writer, 2);
+  d.clear();
+  EXPECT_EQ(d.state(42).last_writer, -1);
+}
+
+TEST(Config, FourPaperMachines) {
+  const auto all = all_machines();
+  ASSERT_EQ(all.size(), 4u);
+  for (const auto& m : all) {
+    EXPECT_GE(m.cores, 2);
+    EXPECT_GT(m.ghz, 0.0);
+    EXPECT_EQ(m.mu(), 4) << m.name;  // 64B lines, complex double
+    EXPECT_GT(m.l1.size_bytes, 0);
+    EXPECT_GT(m.l2.size_bytes, m.l1.size_bytes);
+  }
+}
+
+TEST(Config, LookupByName) {
+  EXPECT_EQ(machine_by_name("coreduo").cores, 2);
+  EXPECT_EQ(machine_by_name("pentiumd").cores, 2);
+  EXPECT_EQ(machine_by_name("opteron").cores, 4);
+  EXPECT_EQ(machine_by_name("xeonmp").cores, 4);
+  EXPECT_THROW(machine_by_name("cray"), std::invalid_argument);
+}
+
+TEST(Config, MulticoresHaveCheaperCoherenceThanBusMachines) {
+  // The paper's key machine distinction: on-chip communication (Core Duo,
+  // Opteron) is much faster than bus snooping (Pentium D, Xeon MP).
+  EXPECT_LT(machine_by_name("coreduo").coherence_cycles,
+            machine_by_name("pentiumd").coherence_cycles);
+  EXPECT_LT(machine_by_name("opteron").coherence_cycles,
+            machine_by_name("xeonmp").coherence_cycles);
+}
+
+TEST(Config, BarrierCheaperOnChip) {
+  EXPECT_LT(machine_by_name("coreduo").barrier_cycles,
+            machine_by_name("pentiumd").barrier_cycles);
+  EXPECT_LT(machine_by_name("opteron").barrier_cycles,
+            machine_by_name("xeonmp").barrier_cycles);
+}
+
+}  // namespace
+}  // namespace spiral::machine

@@ -1,0 +1,185 @@
+// Tests for the machine simulator: determinism, monotonicity, coherence
+// and false-sharing accounting, and the qualitative properties the
+// paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include "backend/lower.hpp"
+#include "baselines/fftw_like.hpp"
+#include "machine/simulator.hpp"
+#include "rewrite/expand.hpp"
+#include "rewrite/multicore_fft.hpp"
+#include "test_helpers.hpp"
+
+namespace spiral::machine {
+namespace {
+
+backend::StageList spiral_parallel(idx_t n, idx_t p, idx_t mu) {
+  auto f = rewrite::derive_multicore_ct(
+      n, idx_t{1} << (util::log2_exact(n) / 2), p, mu);
+  return backend::lower_fused(rewrite::expand_dfts_balanced(f));
+}
+
+backend::StageList spiral_sequential(idx_t n) {
+  auto f = rewrite::formula_from_ruletree(rewrite::balanced_ruletree(n));
+  return backend::lower_fused(f);
+}
+
+TEST(Simulator, Deterministic) {
+  auto prog = spiral_parallel(1 << 10, 2, 4);
+  const auto cfg = core_duo();
+  SimOptions opt;
+  opt.threads = 2;
+  const auto a = simulate(prog, cfg, opt);
+  const auto b = simulate(prog, cfg, opt);
+  EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.false_sharing_events, b.false_sharing_events);
+  EXPECT_EQ(a.l1_misses, b.l1_misses);
+}
+
+TEST(Simulator, CyclesGrowWithProblemSize) {
+  const auto cfg = core_duo();
+  SimOptions opt;
+  double prev = 0.0;
+  for (int k = 6; k <= 12; ++k) {
+    const auto r = simulate(spiral_sequential(idx_t{1} << k), cfg, opt);
+    EXPECT_GT(r.cycles, prev) << "k=" << k;
+    prev = r.cycles;
+  }
+}
+
+TEST(Simulator, WarmRunIsFasterThanCold) {
+  const auto cfg = core_duo();
+  SimOptions opt;
+  auto prog = spiral_sequential(1 << 8);  // fits in L1/L2
+  Simulator sim(cfg, opt);
+  const auto cold = sim.run(prog);
+  const auto warm = sim.run(prog);
+  EXPECT_LT(warm.cycles, cold.cycles);
+}
+
+TEST(Simulator, SequentialRunHasNoCoherenceTraffic) {
+  const auto cfg = core_duo();
+  SimOptions opt;
+  opt.threads = 1;
+  const auto r = simulate(spiral_parallel(1 << 10, 2, 4), cfg, opt);
+  EXPECT_EQ(r.coherence_transfers, 0);
+  EXPECT_EQ(r.false_sharing_events, 0);
+  EXPECT_EQ(r.barrier_cycles, 0.0);
+}
+
+TEST(Simulator, MulticoreFormulaIsFreeOfFalseSharing) {
+  // The paper's central proof obligation (Definition 1): the rewritten
+  // FFT has no false sharing, on any machine, for matching (p, mu).
+  for (const auto& cfg : all_machines()) {
+    SimOptions opt;
+    opt.threads = cfg.cores;
+    const auto prog = spiral_parallel(1 << 12, cfg.cores, cfg.mu());
+    const auto r = simulate(prog, cfg, opt);
+    EXPECT_EQ(r.false_sharing_events, 0) << cfg.name;
+  }
+}
+
+TEST(Simulator, CyclicScheduleOfStridedLoopFalseShares) {
+  // Claim C3: parallelizing DFT_m (x) I_n by assigning consecutive
+  // iterations to different threads makes neighbouring writes share
+  // cache lines.
+  baselines::FftwLikeOptions fo;
+  fo.threads = 2;
+  fo.min_parallel_n = 2;
+  fo.sched_block = 1;  // the mu-oblivious schedule under test
+  auto prog = baselines::fftw_like_plan(1 << 10, fo);
+  const auto cfg = core_duo();
+  SimOptions opt;
+  opt.threads = 2;
+  opt.thread_pool = false;
+  const auto r = simulate(prog, cfg, opt);
+  EXPECT_GT(r.false_sharing_events, 0);
+}
+
+TEST(Simulator, ParallelBeatsSequentialForLargeSizes) {
+  const auto cfg = core_duo();
+  const idx_t n = 1 << 14;
+  SimOptions seq_opt;
+  const auto seq = simulate(spiral_sequential(n), cfg, seq_opt);
+  SimOptions par_opt;
+  par_opt.threads = 2;
+  const auto par = simulate(spiral_parallel(n, 2, cfg.mu()), cfg, par_opt);
+  EXPECT_LT(par.cycles, seq.cycles);
+  EXPECT_GT(par.pseudo_mflops, seq.pseudo_mflops);
+}
+
+TEST(Simulator, ParallelSpeedupAtL1CacheSize) {
+  // Headline claim C1: on a multicore (Core Duo), parallelization pays
+  // off already at N = 2^8 (fits in L1, < 10,000 cycles).
+  const auto cfg = core_duo();
+  const idx_t n = 1 << 8;
+  SimOptions seq_opt;
+  const auto seq = simulate(spiral_sequential(n), cfg, seq_opt);
+  SimOptions par_opt;
+  par_opt.threads = 2;
+  const auto par = simulate(spiral_parallel(n, 2, cfg.mu()), cfg, par_opt);
+  EXPECT_LT(par.cycles, seq.cycles)
+      << "no speedup at 2^8: par=" << par.cycles << " seq=" << seq.cycles;
+  EXPECT_LT(par.cycles, 10000.0) << "paper: < 10,000 cycles at 2^8";
+}
+
+TEST(Simulator, SpawnOverheadPenalizesNoPoolThreading) {
+  const auto cfg = core_duo();
+  const idx_t n = 1 << 10;
+  auto prog = spiral_parallel(n, 2, cfg.mu());
+  SimOptions with_pool;
+  with_pool.threads = 2;
+  with_pool.thread_pool = true;
+  SimOptions no_pool = with_pool;
+  no_pool.thread_pool = false;
+  const auto a = simulate(prog, cfg, with_pool);
+  const auto b = simulate(prog, cfg, no_pool);
+  EXPECT_LT(a.cycles, b.cycles);
+  EXPECT_GT(b.spawn_cycles, 0.0);
+  EXPECT_EQ(a.spawn_cycles, 0.0);
+}
+
+TEST(Simulator, PerStageRecordsCoverAllStages) {
+  auto prog = spiral_parallel(1 << 10, 2, 4);
+  const auto cfg = core_duo();
+  SimOptions opt;
+  opt.threads = 2;
+  const auto r = simulate(prog, cfg, opt);
+  EXPECT_EQ(r.per_stage.size(), prog.stages.size());
+  double sum = 0.0;
+  for (const auto& s : r.per_stage) sum += s.cycles;
+  EXPECT_NEAR(sum, r.cycles, 1e-9);
+}
+
+TEST(Simulator, PseudoMflopsDefinition) {
+  auto prog = spiral_sequential(1 << 8);
+  const auto cfg = core_duo();
+  SimOptions opt;
+  const auto r = simulate(prog, cfg, opt);
+  const double us = r.seconds * 1e6;
+  EXPECT_NEAR(r.pseudo_mflops, 5.0 * 256 * 8 / us, 1e-6);
+}
+
+TEST(Simulator, BusMachinePaysMoreForSharing) {
+  // Same program, same thread count: the bus-based Pentium D suffers more
+  // from coherence than the shared-cache Core Duo (in absolute cycles).
+  baselines::FftwLikeOptions fo;
+  fo.threads = 2;
+  fo.min_parallel_n = 2;
+  fo.sched_block = 1;
+  auto prog = baselines::fftw_like_plan(1 << 10, fo);
+  SimOptions opt;
+  opt.threads = 2;
+  opt.thread_pool = false;
+  const auto cd = simulate(prog, core_duo(), opt);
+  const auto pd = simulate(prog, pentium_d(), opt);
+  ASSERT_GT(cd.false_sharing_events, 0);
+  EXPECT_EQ(cd.false_sharing_events, pd.false_sharing_events)
+      << "event counts are structural";
+  // Cycle penalty differs through the coherence cost parameters.
+  EXPECT_GT(pd.false_sharing_events * pentium_d().false_sharing_cycles,
+            cd.false_sharing_events * core_duo().false_sharing_cycles);
+}
+
+}  // namespace
+}  // namespace spiral::machine

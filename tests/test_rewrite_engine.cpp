@@ -1,0 +1,105 @@
+// Tests for the rewriting engine and the simplification rule set.
+#include <gtest/gtest.h>
+
+#include "rewrite/engine.hpp"
+#include "rewrite/simplify.hpp"
+#include "spl/printer.hpp"
+#include "test_helpers.hpp"
+
+namespace spiral::rewrite {
+namespace {
+
+using spl::Builder;
+using spl::DFT;
+using spl::I;
+using spl::Kind;
+using spl::L;
+
+TEST(Engine, WithChildrenRebuildsSameKind) {
+  auto t = Builder::tensor(DFT(2), I(4));
+  auto r = with_children(t, {DFT(2), I(8)});
+  EXPECT_EQ(r->kind, Kind::kTensor);
+  EXPECT_EQ(r->size, 16);
+}
+
+TEST(Engine, StepReturnsNullWhenNothingMatches) {
+  RuleSet none;
+  EXPECT_EQ(rewrite_step(DFT(8), none), nullptr);
+}
+
+TEST(Engine, StepAppliesOutermostFirst) {
+  // A rule matching any compose node: mark by collapsing to identity.
+  RuleSet rules{{"collapse-compose", [](const spl::FormulaPtr& f) {
+                   return f->kind == Kind::kCompose
+                              ? spl::FormulaPtr(I(f->size))
+                              : nullptr;
+                 }}};
+  auto inner = Builder::compose({I(4), I(4)});
+  auto outer = Builder::tensor(inner, I(2));
+  auto r = rewrite_step(outer, rules);
+  ASSERT_NE(r, nullptr);
+  // Compose inside the tensor rewritten; tensor kept.
+  EXPECT_EQ(r->kind, Kind::kTensor);
+  EXPECT_EQ(r->child(0)->kind, Kind::kIdentity);
+}
+
+TEST(Engine, FixpointTerminatesAndTraces) {
+  Trace trace;
+  auto f = Builder::tensor(I(1), Builder::tensor(DFT(4), I(1)));
+  auto r = rewrite_fixpoint(f, simplification_rules(), &trace);
+  EXPECT_TRUE(spl::equal(r, DFT(4)));
+  EXPECT_GE(trace.size(), 2u);  // two unit tensors removed
+}
+
+TEST(Engine, FixpointThrowsOnNonTerminatingRules) {
+  // Pathological rule: I_n -> I_n . I_n grows forever.
+  RuleSet bad{{"grow", [](const spl::FormulaPtr& f) -> spl::FormulaPtr {
+                 if (f->kind != Kind::kIdentity) return nullptr;
+                 return Builder::compose({I(f->size), I(f->size)});
+               }}};
+  EXPECT_THROW((void)rewrite_fixpoint(I(2), bad, nullptr, 50),
+               std::runtime_error);
+}
+
+TEST(Simplify, RemovesUnitTensors) {
+  auto f = Builder::tensor(I(1), DFT(8));
+  EXPECT_TRUE(spl::equal(simplify(f), DFT(8)));
+  auto g = Builder::tensor(DFT(8), I(1));
+  EXPECT_TRUE(spl::equal(simplify(g), DFT(8)));
+}
+
+TEST(Simplify, MergesIdentityTensors) {
+  auto f = Builder::tensor(I(4), I(8));
+  EXPECT_TRUE(spl::equal(simplify(f), I(32)));
+}
+
+TEST(Simplify, TrivialStridePerms) {
+  EXPECT_TRUE(spl::equal(simplify(L(16, 1)), I(16)));
+  EXPECT_TRUE(spl::equal(simplify(L(16, 16)), I(16)));
+  EXPECT_FALSE(spl::equal(simplify(L(16, 4)), I(16)));
+}
+
+TEST(Simplify, TaggedIdentityDropsTag) {
+  auto f = Builder::smp(2, 4, I(64));
+  EXPECT_TRUE(spl::equal(simplify(f), I(64)));
+}
+
+TEST(Simplify, Dft2BecomesButterfly) {
+  EXPECT_EQ(simplify(DFT(2))->kind, Kind::kF2);
+  // Inverse DFT_2 is kept (F_2 denotes the forward butterfly; they are
+  // equal as matrices but the rule is conservative about the sign).
+  EXPECT_EQ(simplify(DFT(2, +1))->kind, Kind::kDFT);
+}
+
+TEST(Simplify, PreservesSemantics) {
+  // Property: simplification never changes the denoted matrix.
+  util::Rng rng(11);
+  auto f = Builder::compose({
+      Builder::tensor(I(1), Builder::tensor(DFT(2), I(4))),
+      Builder::compose({L(8, 1), Builder::tensor(I(2), I(4))}),
+  });
+  spiral::testing::expect_same_matrix(f, simplify(f));
+}
+
+}  // namespace
+}  // namespace spiral::rewrite

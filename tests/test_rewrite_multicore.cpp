@@ -1,0 +1,129 @@
+// Tests for the multicore Cooley-Tukey FFT (paper formula (14)):
+// the rewriting engine must derive exactly the published formula, and the
+// formula must satisfy every property the paper proves about it.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+
+#include "rewrite/expand.hpp"
+#include "rewrite/multicore_fft.hpp"
+#include "spl/printer.hpp"
+#include "spl/properties.hpp"
+#include "test_helpers.hpp"
+
+namespace spiral::rewrite {
+namespace {
+
+using spiral::testing::expect_same_matrix;
+using spl::DFT;
+using spl::Kind;
+
+TEST(MulticoreFFT, ReferenceFormulaEqualsDft) {
+  // (14) is a correct factorization of DFT_{mn}.
+  for (auto [m, n, p, mu] : std::vector<std::array<idx_t, 4>>{
+           {4, 4, 2, 2}, {8, 4, 2, 2}, {4, 8, 2, 2}, {8, 8, 2, 4},
+           {8, 8, 4, 2}}) {
+    auto f = multicore_ct_reference(m, n, p, mu);
+    expect_same_matrix(f, DFT(m * n));
+  }
+}
+
+TEST(MulticoreFFT, ReferenceFormulaRequiresDivisibility) {
+  EXPECT_THROW(multicore_ct_reference(4, 4, 2, 4), std::invalid_argument);
+  EXPECT_THROW(multicore_ct_reference(6, 8, 2, 2), std::invalid_argument);
+}
+
+TEST(MulticoreFFT, ReferenceIsFullyOptimized) {
+  for (auto [m, n, p, mu] : std::vector<std::array<idx_t, 4>>{
+           {4, 4, 2, 2}, {8, 8, 2, 4}, {8, 8, 4, 2}, {16, 16, 4, 4}}) {
+    auto f = multicore_ct_reference(m, n, p, mu);
+    auto check = spl::check_fully_optimized(f, p, mu);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+}
+
+TEST(MulticoreFFT, DerivationMatchesPaperFormulaStructurally) {
+  // The headline result of Section 3.2: rewriting the plain Cooley-Tukey
+  // FFT with the Table 1 rules yields exactly formula (14).
+  for (auto [m, n, p, mu] : std::vector<std::array<idx_t, 4>>{
+           {4, 4, 2, 2}, {8, 4, 2, 2}, {8, 8, 2, 4}, {8, 8, 4, 2},
+           {16, 16, 4, 4}, {16, 8, 2, 2}}) {
+    auto derived = derive_multicore_ct(m * n, m, p, mu);
+    auto reference = multicore_ct_reference(m, n, p, mu);
+    EXPECT_TRUE(spl::equal(derived, reference))
+        << "m=" << m << " n=" << n << " p=" << p << " mu=" << mu
+        << "\n derived:   " << spl::to_string(derived)
+        << "\n reference: " << spl::to_string(reference);
+  }
+}
+
+TEST(MulticoreFFT, DerivationSemantics) {
+  for (auto [m, n, p, mu] : std::vector<std::array<idx_t, 4>>{
+           {4, 4, 2, 2}, {8, 8, 2, 2}}) {
+    expect_same_matrix(derive_multicore_ct(m * n, m, p, mu), DFT(m * n));
+  }
+}
+
+TEST(MulticoreFFT, DerivationTraceShowsStages) {
+  Trace trace;
+  (void)derive_multicore_ct(64, 8, 2, 2, &trace);
+  // The derivation of (14) fires (6) once, (7) once, (8) once, (9) twice
+  // (the I (x) DFT factor and the I_p (x) L factor), (10) three times and
+  // (11) once, plus simplifications.
+  int rule7 = 0, rule8 = 0, rule9 = 0, rule10 = 0, rule11 = 0;
+  for (const auto& e : trace) {
+    rule7 += e.rule_name == "smp-7-tensor-tile";
+    rule8 += e.rule_name == "smp-8-stride-perm";
+    rule9 += e.rule_name == "smp-9-tensor-chunk";
+    rule10 += e.rule_name == "smp-10-perm-cacheline";
+    rule11 += e.rule_name == "smp-11-diag-split";
+  }
+  EXPECT_EQ(rule7, 1);
+  EXPECT_EQ(rule8, 1);
+  EXPECT_EQ(rule9, 2);
+  EXPECT_EQ(rule10, 3);
+  EXPECT_EQ(rule11, 1);
+}
+
+TEST(MulticoreFFT, PerfectLoadBalance) {
+  // The paper proves (14) is load-balanced: every processor receives the
+  // same arithmetic work.
+  auto f = multicore_ct_reference(16, 16, 4, 2);
+  const auto w = spl::work_per_processor(f, 4);
+  for (int i = 1; i < 4; ++i) EXPECT_DOUBLE_EQ(w[0], w[size_t(i)]);
+}
+
+TEST(MulticoreFFT, ExistsForAllSizesWithPMuSquaredDivisibility) {
+  // Section 3.2: (14) exists for all N with (p*mu)^2 | N — independently
+  // of the further decomposition of DFT_m and DFT_n. Split m = p*mu is
+  // always admissible for such N.
+  const idx_t p = 2, mu = 4;
+  for (idx_t N = (p * mu) * (p * mu); N <= (1 << 16); N *= 2) {
+    EXPECT_NO_THROW({ (void)derive_multicore_ct(N, p * mu, p, mu); })
+        << "N=" << N;
+  }
+}
+
+TEST(MulticoreFFT, ExpandDftsProducesCodeletLeavesOnly) {
+  auto f = derive_multicore_ct(1 << 10, 1 << 5, 2, 2);
+  auto g = expand_dfts_default(f, 8);
+  // No DFT leaf larger than 8 remains.
+  std::function<void(const spl::FormulaPtr&)> walk =
+      [&](const spl::FormulaPtr& h) {
+        if (h->kind == Kind::kDFT) EXPECT_LE(h->n, 8);
+        for (const auto& c : h->children) walk(c);
+      };
+  walk(g);
+  expect_same_matrix(g, DFT(1 << 10));
+}
+
+TEST(MulticoreFFT, ExpandedFormulaStaysFullyOptimized) {
+  auto f = derive_multicore_ct(1 << 8, 1 << 4, 2, 2);
+  auto g = expand_dfts_balanced(f, 8);
+  auto check = spl::check_fully_optimized(g, 2, 2);
+  EXPECT_TRUE(check.ok) << check.reason;
+}
+
+}  // namespace
+}  // namespace spiral::rewrite

@@ -1,0 +1,175 @@
+// Tests for the Table 1 parallelization rules: each rule preserves the
+// denoted matrix, enforces its preconditions, and drives formulas toward
+// the fully optimized shape of Definition 1.
+#include <gtest/gtest.h>
+
+#include "rewrite/breakdown.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/smp_rules.hpp"
+#include "spl/printer.hpp"
+#include "spl/properties.hpp"
+#include "test_helpers.hpp"
+
+namespace spiral::rewrite {
+namespace {
+
+using spiral::testing::expect_same_matrix;
+using spl::Builder;
+using spl::DFT;
+using spl::I;
+using spl::Kind;
+using spl::L;
+using spl::Tw;
+
+/// Applies one rewrite step with the SMP rule set and returns the result
+/// (asserting something fired).
+spl::FormulaPtr step(const spl::FormulaPtr& f) {
+  auto r = rewrite_step(f, smp_rules());
+  EXPECT_NE(r, nullptr) << "no SMP rule fired on " << spl::to_string(f);
+  return r ? r : f;
+}
+
+TEST(SmpRules, Rule6SplitsTaggedProducts) {
+  auto f = Builder::smp(2, 2, Builder::compose({L(16, 4), Tw(4, 4)}));
+  auto r = step(f);
+  ASSERT_EQ(r->kind, Kind::kCompose);
+  EXPECT_EQ(r->child(0)->kind, Kind::kSmpTag);
+  EXPECT_EQ(r->child(1)->kind, Kind::kSmpTag);
+  expect_same_matrix(f, r);
+}
+
+TEST(SmpRules, Rule7TilesComputeTensor) {
+  // smp(2,2){DFT_4 (x) I_8} -> decorated parallel double loop.
+  auto f = Builder::smp(2, 2, Builder::tensor(DFT(4), I(8)));
+  auto r = rewrite_fixpoint(f, smp_rules());
+  expect_same_matrix(f, r);
+  EXPECT_TRUE(spl::is_fully_optimized(r, 2, 2)) << spl::to_string(r);
+}
+
+TEST(SmpRules, Rule7RequiresDivisibility) {
+  // p = 3 does not divide n = 8: no rule may fire on the tagged tensor.
+  auto f = Builder::smp(3, 2, Builder::tensor(DFT(4), I(8)));
+  EXPECT_EQ(rewrite_step(f, smp_rules()), nullptr);
+}
+
+TEST(SmpRules, Rule8SplitsStridePermVariant1) {
+  // p | m case: L^{32}_8 with p=2: (L^{8}_2 (x) I_4)(I_2 (x) L^{16}_4).
+  auto f = Builder::smp(2, 2, L(32, 8));
+  auto r = step(f);
+  ASSERT_EQ(r->kind, Kind::kCompose);
+  expect_same_matrix(f, r);
+  // Full rewriting reaches Definition 1 shape.
+  auto full = rewrite_fixpoint(f, smp_rules());
+  EXPECT_TRUE(spl::is_fully_optimized(full, 2, 2)) << spl::to_string(full);
+}
+
+TEST(SmpRules, Rule8SplitsStridePermVariant2) {
+  // p does not divide m=2 by line-granularity (m/p=1 < mu), but p | n:
+  // the second variant must fire and stay correct.
+  auto f = Builder::smp(2, 2, L(32, 2));
+  auto r = rewrite_fixpoint(f, smp_rules());
+  expect_same_matrix(f, r);
+  EXPECT_TRUE(spl::is_fully_optimized(r, 2, 2)) << spl::to_string(r);
+}
+
+TEST(SmpRules, Rule9ChunksIdentityTensor) {
+  auto f = Builder::smp(2, 2, Builder::tensor(I(8), DFT(4)));
+  auto r = step(f);
+  ASSERT_EQ(r->kind, Kind::kTensorPar);
+  EXPECT_EQ(r->p, 2);
+  // Inner: I_4 (x) DFT_4.
+  ASSERT_EQ(r->child(0)->kind, Kind::kTensor);
+  EXPECT_EQ(r->child(0)->child(0)->n, 4);
+  expect_same_matrix(f, r);
+  EXPECT_TRUE(spl::is_fully_optimized(r, 2, 2));
+}
+
+TEST(SmpRules, Rule10SplitsPermToCacheLines) {
+  auto f = Builder::smp(2, 4, Builder::tensor(L(8, 2), I(8)));
+  auto r = step(f);
+  ASSERT_EQ(r->kind, Kind::kPermBar);
+  EXPECT_EQ(r->mu, 4);
+  // Inner permutation: L^8_2 (x) I_2.
+  EXPECT_EQ(r->child(0)->size, 16);
+  expect_same_matrix(f, r);
+  EXPECT_TRUE(spl::is_fully_optimized(r, 2, 4));
+}
+
+TEST(SmpRules, Rule10RequiresLineDivisibility) {
+  // mu = 4 does not divide n = 2 and p=2 does not divide n=2 at line
+  // granularity: nothing may fire.
+  auto f = Builder::smp(2, 4, Builder::tensor(L(8, 2), I(2)));
+  EXPECT_EQ(rewrite_step(f, smp_rules()), nullptr);
+}
+
+TEST(SmpRules, Rule11SplitsTwiddleDiag) {
+  auto f = Builder::smp(4, 2, Tw(8, 8));
+  auto r = step(f);
+  ASSERT_EQ(r->kind, Kind::kDirectSumPar);
+  EXPECT_EQ(r->arity(), 4u);
+  for (const auto& c : r->children) {
+    EXPECT_EQ(c->kind, Kind::kDiagSeg);
+    EXPECT_EQ(c->size, 16);
+  }
+  expect_same_matrix(f, r);
+  EXPECT_TRUE(spl::is_fully_optimized(r, 4, 2));
+}
+
+TEST(SmpRules, TaggedDftBreaksDownWithAdmissibleSplit) {
+  // smp(2,2){DFT_64}: split must make both factors divisible by p*mu = 4.
+  auto f = Builder::smp(2, 2, DFT(64));
+  auto r = step(f);
+  ASSERT_EQ(r->kind, Kind::kSmpTag);
+  ASSERT_EQ(r->child(0)->kind, Kind::kCompose);
+  expect_same_matrix(f, r);
+}
+
+TEST(SmpRules, ParallelizeReachesDefinitionOne) {
+  for (auto [p, mu] : std::vector<std::pair<idx_t, idx_t>>{
+           {2, 2}, {2, 4}, {4, 2}}) {
+    const idx_t need = p * mu * p * mu;
+    const idx_t n = std::max<idx_t>(64, need);
+    auto r = parallelize(DFT(n), p, mu);
+    EXPECT_TRUE(spl::is_fully_optimized(r, p, mu))
+        << "p=" << p << " mu=" << mu << ": " << spl::to_string(r);
+    expect_same_matrix(r, DFT(n));
+  }
+}
+
+TEST(SmpRules, ParallelizeTracesDerivation) {
+  Trace trace;
+  auto r = parallelize(DFT(64), 2, 2, &trace);
+  (void)r;
+  ASSERT_FALSE(trace.empty());
+  // The derivation must use the headline rules.
+  auto used = [&](const std::string& name) {
+    for (const auto& e : trace) {
+      if (e.rule_name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(used("smp-dft-breakdown"));
+  EXPECT_TRUE(used("smp-6-compose"));
+  EXPECT_TRUE(used("smp-7-tensor-tile"));
+  EXPECT_TRUE(used("smp-8-stride-perm"));
+  EXPECT_TRUE(used("smp-9-tensor-chunk"));
+  EXPECT_TRUE(used("smp-10-perm-cacheline"));
+  EXPECT_TRUE(used("smp-11-diag-split"));
+}
+
+TEST(SmpRules, SequentialTagIsNoOp) {
+  // p=1, mu=1: parallelization must not change the structure beyond
+  // normalization, and the result is trivially "optimized".
+  auto r = parallelize(cooley_tukey(4, 4), 1, 1);
+  expect_same_matrix(r, DFT(16));
+}
+
+TEST(SmpRules, LoadBalanceOfParallelizedFormula) {
+  auto r = parallelize(DFT(256), 2, 4);
+  EXPECT_NEAR(spl::load_imbalance(r, 2), 1.0, 1e-9);
+  auto r4 = parallelize(DFT(4096), 4, 4);
+  EXPECT_NEAR(spl::load_imbalance(r4, 4), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace spiral::rewrite

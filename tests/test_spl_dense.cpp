@@ -1,0 +1,173 @@
+// Semantic tests for the dense interpretation of every SPL construct.
+// These pin down the exact matrix conventions (stride permutation
+// direction, twiddle layout) that the rest of the system relies on.
+#include <gtest/gtest.h>
+
+#include "spl/dense.hpp"
+#include "spl/printer.hpp"
+#include "spl/twiddle.hpp"
+#include "test_helpers.hpp"
+
+namespace spiral::spl {
+namespace {
+
+using testing::expect_same_matrix;
+
+TEST(Dense, DftMatchesDirectSummation) {
+  for (idx_t n : {2, 3, 4, 5, 8}) {
+    const DenseMatrix d = to_dense(DFT(n));
+    util::Rng rng(n);
+    const auto x = rng.complex_signal(n);
+    const auto y = d.apply(x);
+    const auto ref = spiral::testing::reference_dft(x);
+    EXPECT_LT(spiral::testing::max_diff(y, ref), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Dense, Dft2IsButterfly) {
+  const DenseMatrix d = to_dense(DFT(2));
+  EXPECT_NEAR(std::abs(d.at(0, 0) - cplx(1, 0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(d.at(0, 1) - cplx(1, 0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(d.at(1, 0) - cplx(1, 0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(d.at(1, 1) - cplx(-1, 0)), 0.0, 1e-15);
+  expect_same_matrix(DFT(2), Builder::f2());
+}
+
+TEST(Dense, InverseDftIsConjugateTranspose) {
+  // DFT_n * IDFT_n = n * I_n.
+  const idx_t n = 8;
+  const auto prod = to_dense(DFT(n, -1)).mul(to_dense(DFT(n, +1)));
+  const auto scaled_eye = [&] {
+    DenseMatrix m(n, n);
+    for (idx_t i = 0; i < n; ++i) m.at(i, i) = cplx(double(n), 0);
+    return m;
+  }();
+  EXPECT_LT(prod.max_abs_diff(scaled_eye), 1e-12);
+}
+
+TEST(Dense, StridePermDefinition) {
+  // L^{mn}_m gathers the input at stride m. For m=2, n=4:
+  // y = [x0, x2, x4, x6, x1, x3, x5, x7].
+  const auto table = permutation_table(L(8, 2));
+  const std::vector<idx_t> expected = {0, 2, 4, 6, 1, 3, 5, 7};
+  EXPECT_EQ(table, expected);
+}
+
+TEST(Dense, StridePermIsMatrixTransposition) {
+  // Paper, Section 2.2: viewing x as an n x m row-major matrix, L^{mn}_m
+  // performs a transposition of this matrix.
+  const idx_t m = 3, n = 4;
+  util::Rng rng;
+  const auto x = rng.complex_signal(m * n);
+  const auto y = to_dense(L(m * n, m)).apply(x);
+  for (idx_t i = 0; i < m; ++i) {
+    for (idx_t j = 0; j < n; ++j) {
+      EXPECT_EQ(y[size_t(i * n + j)], x[size_t(j * m + i)]);
+    }
+  }
+}
+
+TEST(Dense, StridePermInverse) {
+  // L^{mn}_m . L^{mn}_n = I.
+  for (auto [m, n] : std::vector<std::pair<idx_t, idx_t>>{
+           {2, 4}, {4, 4}, {8, 2}, {3, 5}}) {
+    auto prod = Builder::compose({L(m * n, m), L(m * n, n)});
+    expect_same_matrix(prod, I(m * n));
+  }
+}
+
+TEST(Dense, TensorOfIdentityLeft) {
+  // I_m (x) A is block diagonal with m copies of A.
+  const auto a = DFT(3);
+  const auto t = to_dense(Builder::tensor(I(2), a));
+  const auto da = to_dense(a);
+  for (idx_t i = 0; i < 3; ++i) {
+    for (idx_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(t.at(i, j), da.at(i, j));
+      EXPECT_EQ(t.at(3 + i, 3 + j), da.at(i, j));
+      EXPECT_EQ(t.at(i, 3 + j), cplx(0, 0));
+    }
+  }
+}
+
+TEST(Dense, TensorCommutationTheorem) {
+  // The classical commutation property: for A m x m and B n x n,
+  // A (x) B = L^{mn}_m (B (x) A) L^{mn}_n.
+  const auto a = DFT(2);
+  const auto b = DFT(4);
+  auto lhs = Builder::tensor(a, b);
+  auto rhs = Builder::compose(
+      {L(8, 2), Builder::tensor(b, a), L(8, 4)});
+  expect_same_matrix(lhs, rhs);
+}
+
+TEST(Dense, TwiddleDiagonalLayout) {
+  // D_{m,n} entry at linear index i*n+j is w_{mn}^{ij}.
+  const idx_t m = 4, n = 2;
+  const auto d = to_dense(Tw(m, n));
+  for (idx_t i = 0; i < m; ++i) {
+    for (idx_t j = 0; j < n; ++j) {
+      const cplx expect = root_of_unity(m * n, i * j);
+      EXPECT_LT(std::abs(d.at(i * n + j, i * n + j) - expect), 1e-15);
+    }
+  }
+}
+
+TEST(Dense, DiagSegmentsTileTheTwiddle) {
+  // Direct sum of p segments == whole twiddle diagonal.
+  const idx_t m = 4, n = 4, p = 4;
+  std::vector<FormulaPtr> segs;
+  for (idx_t i = 0; i < p; ++i) {
+    segs.push_back(Builder::diag_seg(m, n, i * (m * n / p), m * n / p));
+  }
+  expect_same_matrix(Builder::direct_sum(segs), Tw(m, n));
+}
+
+TEST(Dense, SmpTagIsTransparent) {
+  expect_same_matrix(Builder::smp(2, 4, DFT(8)), DFT(8));
+}
+
+TEST(Dense, TensorParEqualsTensorWithIdentity) {
+  expect_same_matrix(Builder::tensor_par(4, DFT(2)),
+                     Builder::tensor(I(4), DFT(2)));
+}
+
+TEST(Dense, DirectSumParEqualsDirectSum) {
+  std::vector<FormulaPtr> blocks = {DFT(2), DFT(2)};
+  expect_same_matrix(Builder::direct_sum_par(blocks),
+                     Builder::direct_sum(blocks));
+}
+
+TEST(Dense, PermBarEqualsTensorWithIdentity) {
+  expect_same_matrix(Builder::perm_bar(L(8, 2), 4),
+                     Builder::tensor(L(8, 2), I(4)));
+}
+
+TEST(Dense, PermutationTableMatchesDenseForCompositions) {
+  util::Rng rng(3);
+  const auto f = Builder::compose(
+      {Builder::tensor(L(8, 2), I(2)), Builder::tensor(I(2), L(8, 4))});
+  ASSERT_TRUE(is_permutation(f));
+  const auto table = permutation_table(f);
+  const auto x = rng.complex_signal(f->size);
+  const auto y = to_dense(f).apply(x);
+  for (idx_t t = 0; t < f->size; ++t) {
+    EXPECT_EQ(y[size_t(t)], x[size_t(table[size_t(t)])]);
+  }
+}
+
+TEST(Dense, ApplyMatchesManualMatVec) {
+  util::Rng rng(9);
+  const auto f = Builder::tensor(DFT(2), DFT(3));
+  const auto m = to_dense(f);
+  const auto x = rng.complex_signal(6);
+  const auto y = m.apply(x);
+  for (idx_t i = 0; i < 6; ++i) {
+    cplx acc{0, 0};
+    for (idx_t j = 0; j < 6; ++j) acc += m.at(i, j) * x[size_t(j)];
+    EXPECT_LT(std::abs(acc - y[size_t(i)]), 1e-13);
+  }
+}
+
+}  // namespace
+}  // namespace spiral::spl

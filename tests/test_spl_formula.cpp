@@ -1,0 +1,143 @@
+// Unit tests for the SPL formula IR: construction, validation, equality,
+// hashing, predicates, printing.
+#include <gtest/gtest.h>
+
+#include "spl/formula.hpp"
+#include "spl/printer.hpp"
+
+namespace spiral::spl {
+namespace {
+
+TEST(Formula, IdentityBasics) {
+  auto f = I(8);
+  EXPECT_EQ(f->kind, Kind::kIdentity);
+  EXPECT_EQ(f->size, 8);
+  EXPECT_THROW(Builder::identity(0), std::invalid_argument);
+}
+
+TEST(Formula, DftBasics) {
+  auto f = DFT(16);
+  EXPECT_EQ(f->kind, Kind::kDFT);
+  EXPECT_EQ(f->size, 16);
+  EXPECT_EQ(f->root_sign, -1);
+  EXPECT_THROW(Builder::dft(1), std::invalid_argument);
+  EXPECT_THROW(Builder::dft(4, 3), std::invalid_argument);
+}
+
+TEST(Formula, ComposeFlattensAndChecksDims) {
+  auto c1 = Builder::compose({I(4), I(4)});
+  auto c2 = Builder::compose({c1, I(4)});
+  EXPECT_EQ(c2->kind, Kind::kCompose);
+  EXPECT_EQ(c2->arity(), 3u);  // nested compose flattened
+  EXPECT_THROW(Builder::compose({I(4), I(8)}), std::invalid_argument);
+  // Single factor collapses to the factor itself.
+  auto c3 = Builder::compose({DFT(4)});
+  EXPECT_EQ(c3->kind, Kind::kDFT);
+}
+
+TEST(Formula, TensorDims) {
+  auto t = Builder::tensor(DFT(4), I(8));
+  EXPECT_EQ(t->size, 32);
+  EXPECT_EQ(t->child(0)->size, 4);
+  EXPECT_EQ(t->child(1)->size, 8);
+}
+
+TEST(Formula, DirectSumDims) {
+  auto s = Builder::direct_sum({DFT(2), DFT(4), I(3)});
+  EXPECT_EQ(s->size, 9);
+}
+
+TEST(Formula, StridePermValidation) {
+  auto l = L(32, 4);
+  EXPECT_EQ(l->size, 32);
+  EXPECT_EQ(l->stride, 4);
+  EXPECT_THROW(Builder::stride_perm(32, 5), std::invalid_argument);
+}
+
+TEST(Formula, TwiddleAndSegment) {
+  auto d = Tw(4, 8);
+  EXPECT_EQ(d->size, 32);
+  auto seg = Builder::diag_seg(4, 8, 8, 16);
+  EXPECT_EQ(seg->size, 16);
+  EXPECT_EQ(seg->seg_off, 8);
+  EXPECT_THROW(Builder::diag_seg(4, 8, 30, 4), std::invalid_argument);
+}
+
+TEST(Formula, TaggedConstructs) {
+  auto t = Builder::smp(2, 4, DFT(64));
+  EXPECT_EQ(t->p, 2);
+  EXPECT_EQ(t->mu, 4);
+  EXPECT_EQ(t->size, 64);
+
+  auto tp = Builder::tensor_par(4, DFT(8));
+  EXPECT_EQ(tp->size, 32);
+
+  auto ds = Builder::direct_sum_par({I(4), I(4)});
+  EXPECT_EQ(ds->size, 8);
+
+  auto pb = Builder::perm_bar(L(8, 2), 4);
+  EXPECT_EQ(pb->size, 32);
+  EXPECT_EQ(pb->mu, 4);
+  // perm_bar child must be a permutation.
+  EXPECT_THROW(Builder::perm_bar(DFT(4), 4), std::invalid_argument);
+}
+
+TEST(Formula, StructuralEquality) {
+  auto a = Builder::compose({Builder::tensor(DFT(4), I(4)), L(16, 4)});
+  auto b = Builder::compose({Builder::tensor(DFT(4), I(4)), L(16, 4)});
+  auto c = Builder::compose({Builder::tensor(DFT(4), I(4)), L(16, 2)});
+  EXPECT_TRUE(equal(a, b));
+  EXPECT_FALSE(equal(a, c));
+  EXPECT_EQ(hash_of(a), hash_of(b));
+  EXPECT_NE(hash_of(a), hash_of(c));  // overwhelmingly likely
+}
+
+TEST(Formula, EqualityDistinguishesRootSign) {
+  EXPECT_FALSE(equal(DFT(8, -1), DFT(8, +1)));
+}
+
+TEST(Formula, IsPermutationPredicate) {
+  EXPECT_TRUE(is_permutation(I(4)));
+  EXPECT_TRUE(is_permutation(L(16, 4)));
+  EXPECT_TRUE(is_permutation(Builder::tensor(L(4, 2), I(8))));
+  EXPECT_TRUE(is_permutation(Builder::compose({L(8, 2), L(8, 4)})));
+  EXPECT_FALSE(is_permutation(DFT(4)));
+  EXPECT_FALSE(is_permutation(Builder::tensor(DFT(2), I(2))));
+  EXPECT_FALSE(is_permutation(Tw(2, 2)));
+}
+
+TEST(Formula, HasNonterminalAndTag) {
+  auto f = Builder::compose({Builder::tensor(DFT(4), I(4)), L(16, 4)});
+  EXPECT_TRUE(has_nonterminal(f));
+  EXPECT_FALSE(has_smp_tag(f));
+  auto g = Builder::smp(2, 4, f);
+  EXPECT_TRUE(has_smp_tag(g));
+  EXPECT_FALSE(has_nonterminal(I(8)));
+}
+
+TEST(Formula, NodeCount) {
+  EXPECT_EQ(node_count(I(4)), 1);
+  EXPECT_EQ(node_count(Builder::tensor(DFT(2), I(2))), 3);
+}
+
+TEST(Printer, RendersPaperNotation) {
+  EXPECT_EQ(to_string(I(8)), "I_8");
+  EXPECT_EQ(to_string(DFT(16)), "DFT_16");
+  EXPECT_EQ(to_string(L(32, 4)), "L^32_4");
+  EXPECT_EQ(to_string(Tw(4, 8)), "D_{4,8}");
+  EXPECT_EQ(to_string(Builder::tensor(DFT(4), I(4))), "(DFT_4 (x) I_4)");
+  EXPECT_EQ(to_string(Builder::tensor_par(2, DFT(8))), "(I_2 (x)|| DFT_8)");
+  EXPECT_EQ(to_string(Builder::perm_bar(L(8, 2), 4)), "(L^8_2 (x)- I_4)");
+  EXPECT_EQ(to_string(Builder::smp(2, 4, DFT(8))), "smp(2,4){DFT_8}");
+}
+
+TEST(Printer, TreeStringHasOneLinePerInnerNode) {
+  auto f = Builder::compose({Builder::tensor(DFT(4), I(4)), L(16, 4)});
+  const std::string s = to_tree_string(f);
+  EXPECT_NE(s.find("Compose"), std::string::npos);
+  EXPECT_NE(s.find("Tensor"), std::string::npos);
+  EXPECT_NE(s.find("L^16_4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spiral::spl

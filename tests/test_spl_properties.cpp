@@ -1,0 +1,118 @@
+// Tests for Definition 1 checking, flop counting and load-balance
+// accounting.
+#include <gtest/gtest.h>
+
+#include "spl/properties.hpp"
+#include "spl/printer.hpp"
+#include "test_helpers.hpp"
+
+namespace spiral::spl {
+namespace {
+
+TEST(Properties, ParallelTensorIsOptimized) {
+  // I_2 (x)|| A with A of size 8 = 2*mu for mu=4.
+  auto f = Builder::tensor_par(2, DFT(8));
+  EXPECT_TRUE(is_fully_optimized(f, 2, 4));
+  EXPECT_FALSE(is_fully_optimized(f, 4, 4)) << "wrong p must fail";
+  EXPECT_FALSE(is_fully_optimized(f, 2, 16)) << "block below line size";
+}
+
+TEST(Properties, ParallelDirectSumIsOptimized) {
+  auto f = Builder::direct_sum_par({DFT(8), DFT(8)});
+  EXPECT_TRUE(is_fully_optimized(f, 2, 4));
+  EXPECT_FALSE(is_fully_optimized(f, 3, 4)) << "block count != p";
+}
+
+TEST(Properties, UnequalParallelBlocksAreNotLoadBalanced) {
+  auto f = Builder::direct_sum_par({DFT(8), DFT(4)});
+  EXPECT_FALSE(is_fully_optimized(f, 2, 4));
+}
+
+TEST(Properties, PermBarIsOptimized) {
+  auto f = Builder::perm_bar(L(8, 2), 4);
+  EXPECT_TRUE(is_fully_optimized(f, 2, 4));
+  // Coarser granularity than the line is fine (whole lines still move):
+  EXPECT_TRUE(is_fully_optimized(f, 2, 2));
+  // Finer granularity than the line is not:
+  EXPECT_FALSE(is_fully_optimized(f, 2, 8));
+}
+
+TEST(Properties, CompositionOfOptimizedIsOptimized) {
+  auto f = Builder::compose({
+      Builder::perm_bar(L(4, 2), 4),
+      Builder::tensor_par(2, DFT(8)),
+  });
+  EXPECT_TRUE(is_fully_optimized(f, 2, 4));
+}
+
+TEST(Properties, SequentialTensorWithIdentityIsForm5) {
+  // I_m (x) A with A fully optimized.
+  auto f = Builder::tensor(I(4), Builder::tensor_par(2, DFT(8)));
+  EXPECT_TRUE(is_fully_optimized(f, 2, 4));
+}
+
+TEST(Properties, UntaggedComputeTensorFails) {
+  auto f = Builder::tensor(DFT(4), I(8));
+  auto check = check_fully_optimized(f, 2, 4);
+  EXPECT_FALSE(check.ok);
+  EXPECT_FALSE(check.reason.empty());
+}
+
+TEST(Properties, UnresolvedTagFails) {
+  auto f = Builder::smp(2, 4, DFT(64));
+  auto check = check_fully_optimized(f, 2, 4);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.reason.find("unresolved"), std::string::npos);
+}
+
+TEST(Properties, BareStridePermFails) {
+  // An explicit un-split stride permutation false-shares.
+  EXPECT_FALSE(is_fully_optimized(L(64, 8), 2, 4));
+}
+
+TEST(Properties, FlopCountDftIsFiveNLogN) {
+  EXPECT_DOUBLE_EQ(flop_count(DFT(1024)), 5.0 * 1024 * 10);
+}
+
+TEST(Properties, FlopCountComposeAdds) {
+  auto f = Builder::compose({Tw(4, 4), Tw(4, 4)});
+  EXPECT_DOUBLE_EQ(flop_count(f), 2 * 6.0 * 16);
+}
+
+TEST(Properties, FlopCountTensorScales) {
+  // I_4 (x) DFT_8: four DFT_8's.
+  auto f = Builder::tensor(I(4), DFT(8));
+  EXPECT_DOUBLE_EQ(flop_count(f), 4 * 5.0 * 8 * 3);
+  // DFT_8 (x) I_4 costs the same.
+  auto g = Builder::tensor(DFT(8), I(4));
+  EXPECT_DOUBLE_EQ(flop_count(g), flop_count(f));
+}
+
+TEST(Properties, PermutationsCostNoFlops) {
+  EXPECT_DOUBLE_EQ(flop_count(L(1024, 32)), 0.0);
+  EXPECT_DOUBLE_EQ(flop_count(Builder::perm_bar(L(16, 4), 4)), 0.0);
+}
+
+TEST(Properties, WorkDistributionParallelTensor) {
+  auto f = Builder::tensor_par(4, DFT(16));
+  const auto w = work_per_processor(f, 4);
+  ASSERT_EQ(w.size(), 4u);
+  for (const auto& wi : w) EXPECT_DOUBLE_EQ(wi, 5.0 * 16 * 4);
+  EXPECT_DOUBLE_EQ(load_imbalance(f, 4), 1.0);
+}
+
+TEST(Properties, WorkDistributionSequentialGoesToProcZero) {
+  auto f = DFT(64);
+  const auto w = work_per_processor(f, 4);
+  EXPECT_GT(w[0], 0.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_GT(load_imbalance(f, 4), 1e20);  // fully serial
+}
+
+TEST(Properties, ImbalancedDirectSum) {
+  auto f = Builder::direct_sum_par({DFT(16), DFT(4)});
+  EXPECT_GT(load_imbalance(f, 2), 1.5);
+}
+
+}  // namespace
+}  // namespace spiral::spl

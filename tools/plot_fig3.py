@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""ASCII plot of bench_fig3 output (stdlib only, no matplotlib needed).
+
+Usage:
+    build/bench/bench_fig3 > fig3.csv
+    tools/plot_fig3.py fig3.csv [machine]
+
+Renders one pseudo-Mflop/s-vs-log2(n) chart per machine, mirroring the
+layout of the paper's Figure 3.
+"""
+import sys
+from collections import defaultdict
+
+MARKS = {
+    "spiral-pthreads": "P",
+    "spiral-openmp": "O",
+    "spiral-seq": "s",
+    "fftw-pthreads": "F",
+    "fftw-seq": "f",
+}
+
+
+def load(path):
+    data = defaultdict(lambda: defaultdict(dict))  # machine->series->k->v
+    with open(path) as fh:
+        for line in fh:
+            parts = line.strip().split(",")
+            if len(parts) != 5 or parts[0].startswith("#"):
+                continue
+            machine, series, k, _n, v = parts
+            try:
+                data[machine][series][int(k)] = float(v)
+            except ValueError:
+                continue
+    return data
+
+
+def plot(machine, series, height=20):
+    ks = sorted({k for s in series.values() for k in s})
+    vmax = max(v for s in series.values() for v in s.values())
+    print(f"\n== {machine}: pseudo Mflop/s vs log2(n)  (peak {vmax:.0f}) ==")
+    grid = [[" "] * len(ks) for _ in range(height)]
+    for name, pts in series.items():
+        mark = MARKS.get(name, "?")
+        for i, k in enumerate(ks):
+            if k not in pts:
+                continue
+            row = height - 1 - int(pts[k] / vmax * (height - 1))
+            if grid[row][i] == " ":
+                grid[row][i] = mark
+            else:
+                grid[row][i] = "*"  # overlapping series
+    for r, row in enumerate(grid):
+        axis = f"{vmax * (height - 1 - r) / (height - 1):8.0f} |"
+        print(axis + "  ".join(row))
+    print(" " * 9 + "+" + "-" * (3 * len(ks)))
+    print(" " * 10 + " ".join(f"{k:2d}" for k in ks))
+    legend = "  ".join(f"{m}={n}" for n, m in MARKS.items())
+    print(f"legend: {legend}  (*=overlap)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    data = load(sys.argv[1])
+    wanted = sys.argv[2] if len(sys.argv) > 2 else None
+    for machine, series in data.items():
+        if wanted and machine != wanted:
+            continue
+        plot(machine, series)
+
+
+if __name__ == "__main__":
+    main()
