@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_barriers.cpp" "bench/CMakeFiles/bench_barriers.dir/bench_barriers.cpp.o" "gcc" "bench/CMakeFiles/bench_barriers.dir/bench_barriers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spiral_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/spiral_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/spiral_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/spiral_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/spiral_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/spiral_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/spiral_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/spl/CMakeFiles/spiral_spl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_barriers.dir/bench_barriers.cpp.o"
+  "CMakeFiles/bench_barriers.dir/bench_barriers.cpp.o.d"
+  "bench_barriers"
+  "bench_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

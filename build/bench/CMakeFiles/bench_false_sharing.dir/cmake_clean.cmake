@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_false_sharing.dir/bench_false_sharing.cpp.o"
+  "CMakeFiles/bench_false_sharing.dir/bench_false_sharing.cpp.o.d"
+  "bench_false_sharing"
+  "bench_false_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_false_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sixstep_vs_multicore.dir/bench_sixstep_vs_multicore.cpp.o"
+  "CMakeFiles/bench_sixstep_vs_multicore.dir/bench_sixstep_vs_multicore.cpp.o.d"
+  "bench_sixstep_vs_multicore"
+  "bench_sixstep_vs_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sixstep_vs_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

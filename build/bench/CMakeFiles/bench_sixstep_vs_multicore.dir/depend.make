@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sixstep_vs_multicore.
+# This may be replaced when dependencies are built.

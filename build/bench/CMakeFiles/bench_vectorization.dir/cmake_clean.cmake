@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vectorization.dir/bench_vectorization.cpp.o"
+  "CMakeFiles/bench_vectorization.dir/bench_vectorization.cpp.o.d"
+  "bench_vectorization"
+  "bench_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_demo.dir/codegen_demo.cpp.o"
+  "CMakeFiles/codegen_demo.dir/codegen_demo.cpp.o.d"
+  "codegen_demo"
+  "codegen_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolution2d.dir/convolution2d.cpp.o"
+  "CMakeFiles/convolution2d.dir/convolution2d.cpp.o.d"
+  "convolution2d"
+  "convolution2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolution2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derivation_demo.dir/derivation_demo.cpp.o"
+  "CMakeFiles/derivation_demo.dir/derivation_demo.cpp.o.d"
+  "derivation_demo"
+  "derivation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derivation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

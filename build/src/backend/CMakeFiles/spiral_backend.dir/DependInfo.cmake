@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/codegen_c.cpp" "src/backend/CMakeFiles/spiral_backend.dir/codegen_c.cpp.o" "gcc" "src/backend/CMakeFiles/spiral_backend.dir/codegen_c.cpp.o.d"
+  "/root/repo/src/backend/codelets.cpp" "src/backend/CMakeFiles/spiral_backend.dir/codelets.cpp.o" "gcc" "src/backend/CMakeFiles/spiral_backend.dir/codelets.cpp.o.d"
+  "/root/repo/src/backend/fuse.cpp" "src/backend/CMakeFiles/spiral_backend.dir/fuse.cpp.o" "gcc" "src/backend/CMakeFiles/spiral_backend.dir/fuse.cpp.o.d"
+  "/root/repo/src/backend/lower.cpp" "src/backend/CMakeFiles/spiral_backend.dir/lower.cpp.o" "gcc" "src/backend/CMakeFiles/spiral_backend.dir/lower.cpp.o.d"
+  "/root/repo/src/backend/program.cpp" "src/backend/CMakeFiles/spiral_backend.dir/program.cpp.o" "gcc" "src/backend/CMakeFiles/spiral_backend.dir/program.cpp.o.d"
+  "/root/repo/src/backend/stage.cpp" "src/backend/CMakeFiles/spiral_backend.dir/stage.cpp.o" "gcc" "src/backend/CMakeFiles/spiral_backend.dir/stage.cpp.o.d"
+  "/root/repo/src/backend/vectorize.cpp" "src/backend/CMakeFiles/spiral_backend.dir/vectorize.cpp.o" "gcc" "src/backend/CMakeFiles/spiral_backend.dir/vectorize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rewrite/CMakeFiles/spiral_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/spl/CMakeFiles/spiral_spl.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/spiral_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spiral_backend.dir/codegen_c.cpp.o"
+  "CMakeFiles/spiral_backend.dir/codegen_c.cpp.o.d"
+  "CMakeFiles/spiral_backend.dir/codelets.cpp.o"
+  "CMakeFiles/spiral_backend.dir/codelets.cpp.o.d"
+  "CMakeFiles/spiral_backend.dir/fuse.cpp.o"
+  "CMakeFiles/spiral_backend.dir/fuse.cpp.o.d"
+  "CMakeFiles/spiral_backend.dir/lower.cpp.o"
+  "CMakeFiles/spiral_backend.dir/lower.cpp.o.d"
+  "CMakeFiles/spiral_backend.dir/program.cpp.o"
+  "CMakeFiles/spiral_backend.dir/program.cpp.o.d"
+  "CMakeFiles/spiral_backend.dir/stage.cpp.o"
+  "CMakeFiles/spiral_backend.dir/stage.cpp.o.d"
+  "CMakeFiles/spiral_backend.dir/vectorize.cpp.o"
+  "CMakeFiles/spiral_backend.dir/vectorize.cpp.o.d"
+  "libspiral_backend.a"
+  "libspiral_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spiral_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

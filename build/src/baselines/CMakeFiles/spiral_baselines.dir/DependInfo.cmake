@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dft_direct.cpp" "src/baselines/CMakeFiles/spiral_baselines.dir/dft_direct.cpp.o" "gcc" "src/baselines/CMakeFiles/spiral_baselines.dir/dft_direct.cpp.o.d"
+  "/root/repo/src/baselines/fft_iterative.cpp" "src/baselines/CMakeFiles/spiral_baselines.dir/fft_iterative.cpp.o" "gcc" "src/baselines/CMakeFiles/spiral_baselines.dir/fft_iterative.cpp.o.d"
+  "/root/repo/src/baselines/fftw_like.cpp" "src/baselines/CMakeFiles/spiral_baselines.dir/fftw_like.cpp.o" "gcc" "src/baselines/CMakeFiles/spiral_baselines.dir/fftw_like.cpp.o.d"
+  "/root/repo/src/baselines/sixstep.cpp" "src/baselines/CMakeFiles/spiral_baselines.dir/sixstep.cpp.o" "gcc" "src/baselines/CMakeFiles/spiral_baselines.dir/sixstep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backend/CMakeFiles/spiral_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/spiral_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/spl/CMakeFiles/spiral_spl.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/spiral_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spiral_baselines.dir/dft_direct.cpp.o"
+  "CMakeFiles/spiral_baselines.dir/dft_direct.cpp.o.d"
+  "CMakeFiles/spiral_baselines.dir/fft_iterative.cpp.o"
+  "CMakeFiles/spiral_baselines.dir/fft_iterative.cpp.o.d"
+  "CMakeFiles/spiral_baselines.dir/fftw_like.cpp.o"
+  "CMakeFiles/spiral_baselines.dir/fftw_like.cpp.o.d"
+  "CMakeFiles/spiral_baselines.dir/sixstep.cpp.o"
+  "CMakeFiles/spiral_baselines.dir/sixstep.cpp.o.d"
+  "libspiral_baselines.a"
+  "libspiral_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spiral_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

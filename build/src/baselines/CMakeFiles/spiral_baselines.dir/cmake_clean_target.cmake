@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspiral_baselines.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spiral_core.dir/plan_cache.cpp.o"
+  "CMakeFiles/spiral_core.dir/plan_cache.cpp.o.d"
+  "CMakeFiles/spiral_core.dir/spiral_fft.cpp.o"
+  "CMakeFiles/spiral_core.dir/spiral_fft.cpp.o.d"
+  "libspiral_core.a"
+  "libspiral_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spiral_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cache.cpp" "src/machine/CMakeFiles/spiral_machine.dir/cache.cpp.o" "gcc" "src/machine/CMakeFiles/spiral_machine.dir/cache.cpp.o.d"
+  "/root/repo/src/machine/config.cpp" "src/machine/CMakeFiles/spiral_machine.dir/config.cpp.o" "gcc" "src/machine/CMakeFiles/spiral_machine.dir/config.cpp.o.d"
+  "/root/repo/src/machine/simulator.cpp" "src/machine/CMakeFiles/spiral_machine.dir/simulator.cpp.o" "gcc" "src/machine/CMakeFiles/spiral_machine.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backend/CMakeFiles/spiral_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/spiral_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/spl/CMakeFiles/spiral_spl.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/spiral_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

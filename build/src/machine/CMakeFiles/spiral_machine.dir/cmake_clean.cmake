@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spiral_machine.dir/cache.cpp.o"
+  "CMakeFiles/spiral_machine.dir/cache.cpp.o.d"
+  "CMakeFiles/spiral_machine.dir/config.cpp.o"
+  "CMakeFiles/spiral_machine.dir/config.cpp.o.d"
+  "CMakeFiles/spiral_machine.dir/simulator.cpp.o"
+  "CMakeFiles/spiral_machine.dir/simulator.cpp.o.d"
+  "libspiral_machine.a"
+  "libspiral_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spiral_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/breakdown.cpp" "src/rewrite/CMakeFiles/spiral_rewrite.dir/breakdown.cpp.o" "gcc" "src/rewrite/CMakeFiles/spiral_rewrite.dir/breakdown.cpp.o.d"
+  "/root/repo/src/rewrite/engine.cpp" "src/rewrite/CMakeFiles/spiral_rewrite.dir/engine.cpp.o" "gcc" "src/rewrite/CMakeFiles/spiral_rewrite.dir/engine.cpp.o.d"
+  "/root/repo/src/rewrite/expand.cpp" "src/rewrite/CMakeFiles/spiral_rewrite.dir/expand.cpp.o" "gcc" "src/rewrite/CMakeFiles/spiral_rewrite.dir/expand.cpp.o.d"
+  "/root/repo/src/rewrite/multicore_fft.cpp" "src/rewrite/CMakeFiles/spiral_rewrite.dir/multicore_fft.cpp.o" "gcc" "src/rewrite/CMakeFiles/spiral_rewrite.dir/multicore_fft.cpp.o.d"
+  "/root/repo/src/rewrite/simplify.cpp" "src/rewrite/CMakeFiles/spiral_rewrite.dir/simplify.cpp.o" "gcc" "src/rewrite/CMakeFiles/spiral_rewrite.dir/simplify.cpp.o.d"
+  "/root/repo/src/rewrite/smp_rules.cpp" "src/rewrite/CMakeFiles/spiral_rewrite.dir/smp_rules.cpp.o" "gcc" "src/rewrite/CMakeFiles/spiral_rewrite.dir/smp_rules.cpp.o.d"
+  "/root/repo/src/rewrite/vec_rules.cpp" "src/rewrite/CMakeFiles/spiral_rewrite.dir/vec_rules.cpp.o" "gcc" "src/rewrite/CMakeFiles/spiral_rewrite.dir/vec_rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spl/CMakeFiles/spiral_spl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

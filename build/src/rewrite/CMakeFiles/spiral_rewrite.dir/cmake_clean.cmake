@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spiral_rewrite.dir/breakdown.cpp.o"
+  "CMakeFiles/spiral_rewrite.dir/breakdown.cpp.o.d"
+  "CMakeFiles/spiral_rewrite.dir/engine.cpp.o"
+  "CMakeFiles/spiral_rewrite.dir/engine.cpp.o.d"
+  "CMakeFiles/spiral_rewrite.dir/expand.cpp.o"
+  "CMakeFiles/spiral_rewrite.dir/expand.cpp.o.d"
+  "CMakeFiles/spiral_rewrite.dir/multicore_fft.cpp.o"
+  "CMakeFiles/spiral_rewrite.dir/multicore_fft.cpp.o.d"
+  "CMakeFiles/spiral_rewrite.dir/simplify.cpp.o"
+  "CMakeFiles/spiral_rewrite.dir/simplify.cpp.o.d"
+  "CMakeFiles/spiral_rewrite.dir/smp_rules.cpp.o"
+  "CMakeFiles/spiral_rewrite.dir/smp_rules.cpp.o.d"
+  "CMakeFiles/spiral_rewrite.dir/vec_rules.cpp.o"
+  "CMakeFiles/spiral_rewrite.dir/vec_rules.cpp.o.d"
+  "libspiral_rewrite.a"
+  "libspiral_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spiral_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/cost.cpp" "src/search/CMakeFiles/spiral_search.dir/cost.cpp.o" "gcc" "src/search/CMakeFiles/spiral_search.dir/cost.cpp.o.d"
+  "/root/repo/src/search/evolution.cpp" "src/search/CMakeFiles/spiral_search.dir/evolution.cpp.o" "gcc" "src/search/CMakeFiles/spiral_search.dir/evolution.cpp.o.d"
+  "/root/repo/src/search/search.cpp" "src/search/CMakeFiles/spiral_search.dir/search.cpp.o" "gcc" "src/search/CMakeFiles/spiral_search.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/spiral_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/spiral_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/spiral_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/spl/CMakeFiles/spiral_spl.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/spiral_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spiral_search.dir/cost.cpp.o"
+  "CMakeFiles/spiral_search.dir/cost.cpp.o.d"
+  "CMakeFiles/spiral_search.dir/evolution.cpp.o"
+  "CMakeFiles/spiral_search.dir/evolution.cpp.o.d"
+  "CMakeFiles/spiral_search.dir/search.cpp.o"
+  "CMakeFiles/spiral_search.dir/search.cpp.o.d"
+  "libspiral_search.a"
+  "libspiral_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spiral_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

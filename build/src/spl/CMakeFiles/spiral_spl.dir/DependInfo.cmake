@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spl/dense.cpp" "src/spl/CMakeFiles/spiral_spl.dir/dense.cpp.o" "gcc" "src/spl/CMakeFiles/spiral_spl.dir/dense.cpp.o.d"
+  "/root/repo/src/spl/formula.cpp" "src/spl/CMakeFiles/spiral_spl.dir/formula.cpp.o" "gcc" "src/spl/CMakeFiles/spiral_spl.dir/formula.cpp.o.d"
+  "/root/repo/src/spl/printer.cpp" "src/spl/CMakeFiles/spiral_spl.dir/printer.cpp.o" "gcc" "src/spl/CMakeFiles/spiral_spl.dir/printer.cpp.o.d"
+  "/root/repo/src/spl/properties.cpp" "src/spl/CMakeFiles/spiral_spl.dir/properties.cpp.o" "gcc" "src/spl/CMakeFiles/spiral_spl.dir/properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spiral_spl.dir/dense.cpp.o"
+  "CMakeFiles/spiral_spl.dir/dense.cpp.o.d"
+  "CMakeFiles/spiral_spl.dir/formula.cpp.o"
+  "CMakeFiles/spiral_spl.dir/formula.cpp.o.d"
+  "CMakeFiles/spiral_spl.dir/printer.cpp.o"
+  "CMakeFiles/spiral_spl.dir/printer.cpp.o.d"
+  "CMakeFiles/spiral_spl.dir/properties.cpp.o"
+  "CMakeFiles/spiral_spl.dir/properties.cpp.o.d"
+  "libspiral_spl.a"
+  "libspiral_spl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spiral_spl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

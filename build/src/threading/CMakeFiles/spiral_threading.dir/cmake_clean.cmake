@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spiral_threading.dir/thread_pool.cpp.o"
+  "CMakeFiles/spiral_threading.dir/thread_pool.cpp.o.d"
+  "libspiral_threading.a"
+  "libspiral_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spiral_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspiral_threading.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spiral_threading.
+# This may be replaced when dependencies are built.

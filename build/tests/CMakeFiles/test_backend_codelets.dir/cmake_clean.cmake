@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_codelets.dir/test_backend_codelets.cpp.o"
+  "CMakeFiles/test_backend_codelets.dir/test_backend_codelets.cpp.o.d"
+  "test_backend_codelets"
+  "test_backend_codelets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_codelets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

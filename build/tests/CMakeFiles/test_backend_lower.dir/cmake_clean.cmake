@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_lower.dir/test_backend_lower.cpp.o"
+  "CMakeFiles/test_backend_lower.dir/test_backend_lower.cpp.o.d"
+  "test_backend_lower"
+  "test_backend_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

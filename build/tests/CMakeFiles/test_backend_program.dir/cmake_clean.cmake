@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_program.dir/test_backend_program.cpp.o"
+  "CMakeFiles/test_backend_program.dir/test_backend_program.cpp.o.d"
+  "test_backend_program"
+  "test_backend_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

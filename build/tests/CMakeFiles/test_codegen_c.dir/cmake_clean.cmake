@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_c.dir/test_codegen_c.cpp.o"
+  "CMakeFiles/test_codegen_c.dir/test_codegen_c.cpp.o.d"
+  "test_codegen_c"
+  "test_codegen_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_planner.dir/test_core_planner.cpp.o"
+  "CMakeFiles/test_core_planner.dir/test_core_planner.cpp.o.d"
+  "test_core_planner"
+  "test_core_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dft2d.dir/test_dft2d.cpp.o"
+  "CMakeFiles/test_dft2d.dir/test_dft2d.cpp.o.d"
+  "test_dft2d"
+  "test_dft2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dft2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evolution.dir/test_evolution.cpp.o"
+  "CMakeFiles/test_evolution.dir/test_evolution.cpp.o.d"
+  "test_evolution"
+  "test_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_cache.dir/test_machine_cache.cpp.o"
+  "CMakeFiles/test_machine_cache.dir/test_machine_cache.cpp.o.d"
+  "test_machine_cache"
+  "test_machine_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

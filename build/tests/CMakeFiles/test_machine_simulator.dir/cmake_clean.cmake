@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_simulator.dir/test_machine_simulator.cpp.o"
+  "CMakeFiles/test_machine_simulator.dir/test_machine_simulator.cpp.o.d"
+  "test_machine_simulator"
+  "test_machine_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

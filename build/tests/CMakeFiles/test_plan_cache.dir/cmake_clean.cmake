@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_cache.dir/test_plan_cache.cpp.o"
+  "CMakeFiles/test_plan_cache.dir/test_plan_cache.cpp.o.d"
+  "test_plan_cache"
+  "test_plan_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

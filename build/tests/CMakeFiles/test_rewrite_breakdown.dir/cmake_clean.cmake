@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rewrite_breakdown.dir/test_rewrite_breakdown.cpp.o"
+  "CMakeFiles/test_rewrite_breakdown.dir/test_rewrite_breakdown.cpp.o.d"
+  "test_rewrite_breakdown"
+  "test_rewrite_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rewrite_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

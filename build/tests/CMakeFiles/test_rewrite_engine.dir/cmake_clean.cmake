@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rewrite_engine.dir/test_rewrite_engine.cpp.o"
+  "CMakeFiles/test_rewrite_engine.dir/test_rewrite_engine.cpp.o.d"
+  "test_rewrite_engine"
+  "test_rewrite_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rewrite_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

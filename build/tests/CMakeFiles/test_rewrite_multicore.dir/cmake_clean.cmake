@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rewrite_multicore.dir/test_rewrite_multicore.cpp.o"
+  "CMakeFiles/test_rewrite_multicore.dir/test_rewrite_multicore.cpp.o.d"
+  "test_rewrite_multicore"
+  "test_rewrite_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rewrite_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rewrite_smp_rules.dir/test_rewrite_smp_rules.cpp.o"
+  "CMakeFiles/test_rewrite_smp_rules.dir/test_rewrite_smp_rules.cpp.o.d"
+  "test_rewrite_smp_rules"
+  "test_rewrite_smp_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rewrite_smp_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

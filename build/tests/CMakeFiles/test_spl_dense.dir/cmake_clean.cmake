@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spl_dense.dir/test_spl_dense.cpp.o"
+  "CMakeFiles/test_spl_dense.dir/test_spl_dense.cpp.o.d"
+  "test_spl_dense"
+  "test_spl_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spl_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spl_formula.dir/test_spl_formula.cpp.o"
+  "CMakeFiles/test_spl_formula.dir/test_spl_formula.cpp.o.d"
+  "test_spl_formula"
+  "test_spl_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spl_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

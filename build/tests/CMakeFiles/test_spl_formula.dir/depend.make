@@ -1,0 +1,2 @@
+# Empty dependencies file for test_spl_formula.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spl_properties.dir/test_spl_properties.cpp.o"
+  "CMakeFiles/test_spl_properties.dir/test_spl_properties.cpp.o.d"
+  "test_spl_properties"
+  "test_spl_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spl_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

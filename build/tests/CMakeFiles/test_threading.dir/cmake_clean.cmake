@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threading.dir/test_threading.cpp.o"
+  "CMakeFiles/test_threading.dir/test_threading.cpp.o.d"
+  "test_threading"
+  "test_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

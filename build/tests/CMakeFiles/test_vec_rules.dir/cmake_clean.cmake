@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vec_rules.dir/test_vec_rules.cpp.o"
+  "CMakeFiles/test_vec_rules.dir/test_vec_rules.cpp.o.d"
+  "test_vec_rules"
+  "test_vec_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vec_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vectorize.dir/test_vectorize.cpp.o"
+  "CMakeFiles/test_vectorize.dir/test_vectorize.cpp.o.d"
+  "test_vectorize"
+  "test_vectorize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vectorize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
