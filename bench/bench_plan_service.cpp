@@ -1,0 +1,108 @@
+// Plan service throughput: many client threads requesting plans from the
+// sharded PlanCache. Measures
+//   * contended lookup throughput (all hits after warm-up) at 1..T threads
+//     and 1 vs N shards — the sharding win,
+//   * cold planning with and without imported wisdom — the wisdom win
+//     (descriptor replay skips the DP search).
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/plan_cache.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+using namespace spiral;
+
+namespace {
+
+/// The working set: a spread of transforms a mixed workload would request.
+struct Request {
+  idx_t n;
+  int threads;
+};
+
+std::vector<Request> working_set(int kmin, int kmax) {
+  std::vector<Request> reqs;
+  for (int k = kmin; k <= kmax; ++k) {
+    reqs.push_back({idx_t{1} << k, 1});
+    reqs.push_back({idx_t{1} << k, 2});
+  }
+  return reqs;
+}
+
+core::PlannerOptions options_for(const Request& r) {
+  core::PlannerOptions opt;
+  opt.threads = r.threads;
+  opt.cache_line_complex = 2;
+  return opt;
+}
+
+/// Hammer a warm cache from `clients` threads; returns lookups/second.
+double hot_lookup_rate(core::PlanCache& cache, const std::vector<Request>& reqs,
+                       int clients, int iters) {
+  util::Stopwatch watch;
+  std::vector<std::thread> team;
+  team.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    team.emplace_back([&, c] {
+      for (int i = 0; i < iters; ++i) {
+        const auto& r = reqs[std::size_t(c + i) % reqs.size()];
+        (void)cache.dft(r.n, options_for(r));
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+  return static_cast<double>(clients) * iters / watch.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const int kmin = static_cast<int>(args.get_int("kmin", 6));
+  const int kmax = static_cast<int>(args.get_int("kmax", 12));
+  const int iters = static_cast<int>(args.get_int("iters", 20000));
+  const int max_clients =
+      static_cast<int>(args.get_int("clients", int(std::thread::hardware_concurrency())));
+
+  const auto reqs = working_set(kmin, kmax);
+
+  std::printf("# Plan service throughput (%zu distinct keys)\n", reqs.size());
+  std::printf("clients,shards,lookups_per_sec\n");
+  for (int clients = 1; clients <= max_clients; clients *= 2) {
+    for (std::size_t shards : {std::size_t{1}, core::PlanCache::kDefaultShards}) {
+      core::PlanCache cache(shards);
+      for (const auto& r : reqs) (void)cache.dft(r.n, options_for(r));  // warm
+      const double rate = hot_lookup_rate(cache, reqs, clients, iters);
+      std::printf("%d,%zu,%.0f\n", clients, shards, rate);
+    }
+  }
+
+  // Cold planning: autotuned from scratch vs replayed from wisdom.
+  core::PlannerOptions tuned;
+  tuned.autotune = true;
+  tuned.leaf = 16;
+  const idx_t n = idx_t{1} << kmax;
+
+  core::PlanCache cold;
+  util::Stopwatch w1;
+  (void)cold.dft(n, tuned);
+  const double t_search = w1.seconds();
+
+  core::PlanCache warm;
+  (void)warm.import_wisdom(cold.export_wisdom());
+  util::Stopwatch w2;
+  (void)warm.dft(n, tuned);
+  const double t_replay = w2.seconds();
+
+  std::printf("\n# Cold planning, n=%lld autotuned\n",
+              static_cast<long long>(n));
+  std::printf("mode,seconds\n");
+  std::printf("dp_search,%.6f\n", t_search);
+  std::printf("wisdom_replay,%.6f\n", t_replay);
+  std::printf("# speedup: %.1fx (wisdom hits: %llu)\n",
+              t_search / (t_replay > 0 ? t_replay : 1e-9),
+              static_cast<unsigned long long>(warm.stats().wisdom_hits));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Wisdom walkthrough: pay for autotuning once, persist the result, and
+// rebuild the same plan in a "new process" without searching.
+//
+//   1. Plan DFT_1024 with autotuning; the cache records a descriptor.
+//   2. export_wisdom() -> a small versioned text blob (shown).
+//   3. A fresh PlanCache imports the blob and plans the same transform:
+//      the DP search is skipped (counter-verified) and the formula is
+//      identical.
+//   4. One shared plan is executed from several threads, each with its
+//      own ExecContext.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/plan_cache.hpp"
+#include "search/search.hpp"
+#include "util/timer.hpp"
+
+using namespace spiral;
+
+int main() {
+  const idx_t n = 1024;
+  core::PlannerOptions opt;
+  opt.threads = 2;
+  opt.cache_line_complex = 2;
+  opt.autotune = true;
+  opt.leaf = 16;
+
+  // --- 1. autotuned planning (the expensive part) -------------------------
+  core::PlanCache first;
+  util::Stopwatch w1;
+  auto tuned = first.dft(n, opt);
+  std::printf("autotuned planning: %.3f ms (%llu DP searches so far)\n",
+              w1.seconds() * 1e3,
+              static_cast<unsigned long long>(search::dp_search_invocations()));
+
+  // --- 2. export ----------------------------------------------------------
+  const std::string blob = first.export_wisdom();
+  std::printf("\nexported wisdom (%zu bytes):\n%s\n", blob.size(),
+              blob.c_str());
+
+  // --- 3. import into a fresh cache and replan ----------------------------
+  core::PlanCache second;
+  auto imported = second.import_wisdom(blob);
+  if (!imported.ok) {
+    std::printf("import failed: %s\n", imported.error.c_str());
+    return 1;
+  }
+  const auto searches_before = search::dp_search_invocations();
+  util::Stopwatch w2;
+  auto replayed = second.dft(n, opt);
+  std::printf("replayed planning: %.3f ms, %llu new DP searches, "
+              "%llu wisdom hit(s)\n",
+              w2.seconds() * 1e3,
+              static_cast<unsigned long long>(search::dp_search_invocations() -
+                                              searches_before),
+              static_cast<unsigned long long>(second.stats().wisdom_hits));
+  std::printf("identical formula: %s\n",
+              tuned->describe() == replayed->describe() ? "yes" : "NO");
+
+  // --- 4. one plan, many client threads -----------------------------------
+  util::Rng rng(7);
+  const auto x = rng.complex_signal(n);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      backend::ExecContext ctx;  // per-thread execution state
+      util::cvec y(n);
+      for (int rep = 0; rep < 100; ++rep) {
+        replayed->execute(ctx, x.data(), y.data());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  std::printf("4 threads x 100 executions through one shared plan: done\n");
+  return 0;
+}

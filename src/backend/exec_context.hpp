@@ -1,0 +1,82 @@
+// Per-caller execution state for Program/FftPlan.
+//
+// A planned program is immutable after construction; everything mutable
+// that execution needs — the ping-pong scratch buffers and the worker
+// team running the parallel stages — lives in an ExecContext. One program
+// can therefore serve any number of client threads concurrently, each
+// bringing its own context:
+//
+//   backend::ExecContext ctx;                 // cheap; buffers grow lazily
+//   plan->execute(ctx, x, y);                 // safe from many threads,
+//                                             // one context per thread
+//
+// A context may be reused across programs (buffers grow to the largest
+// size seen; the worker pool is rebuilt only when a program needs more
+// threads than the pool has). A single context must NOT be used by two
+// threads at the same time — it is the per-caller half of the plan/context
+// split, not a synchronization primitive.
+#pragma once
+
+#include <memory>
+
+#include "threading/thread_pool.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace spiral::backend {
+
+class Program;
+
+class ExecContext {
+ public:
+  ExecContext() = default;
+  ExecContext(ExecContext&&) = default;
+  ExecContext& operator=(ExecContext&&) = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// Borrows an external worker pool for this context (overrides the
+  /// lazily owned one). Pass nullptr to return to the owned pool. The
+  /// FFTW-like baseline uses this to model per-call thread start-up.
+  void set_pool(threading::ThreadPool* pool) noexcept {
+    borrowed_pool_ = pool;
+  }
+
+  /// Releases the owned worker team and shrinks the scratch buffers.
+  void reset() {
+    owned_pool_.reset();
+    buf_[0].clear();
+    buf_[0].shrink_to_fit();
+    buf_[1].clear();
+    buf_[1].shrink_to_fit();
+  }
+
+ private:
+  friend class Program;
+
+  /// Grows the scratch buffers to hold n elements (never shrinks).
+  void ensure_buffers(idx_t n, bool need_second) {
+    if (static_cast<idx_t>(buf_[0].size()) < n) {
+      buf_[0].resize(static_cast<std::size_t>(n));
+    }
+    if (need_second && static_cast<idx_t>(buf_[1].size()) < n) {
+      buf_[1].resize(static_cast<std::size_t>(n));
+    }
+  }
+
+  /// The pool parallel stages should dispatch to: an explicitly borrowed
+  /// team if set, else a persistent owned team (created on first use,
+  /// rebuilt only if a program needs more participants).
+  threading::ThreadPool* pool_for(int threads) {
+    if (borrowed_pool_ != nullptr) return borrowed_pool_;
+    if (!owned_pool_ || owned_pool_->size() < threads) {
+      owned_pool_ = std::make_unique<threading::ThreadPool>(threads);
+    }
+    return owned_pool_.get();
+  }
+
+  util::cvec buf_[2];
+  std::unique_ptr<threading::ThreadPool> owned_pool_;
+  threading::ThreadPool* borrowed_pool_ = nullptr;
+};
+
+}  // namespace spiral::backend

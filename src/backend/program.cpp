@@ -24,11 +24,8 @@ bool openmp_available() {
 Program::Program(StageList stages, ExecPolicy policy,
                  threading::ThreadPool* pool)
     : list_(std::move(stages)), policy_(policy), pool_(pool) {
-  if (list_.stages.size() > 1) {
-    buf_[0].resize(static_cast<std::size_t>(list_.n));
-    buf_[1].resize(static_cast<std::size_t>(list_.n));
-  } else {
-    buf_[0].resize(static_cast<std::size_t>(list_.n));  // for x == y
+  for (const auto& s : list_.stages) {
+    max_p_ = std::max(max_p_, static_cast<int>(s.parallel_p));
   }
 }
 
@@ -87,20 +84,20 @@ void run_task(const Stage& s, const cplx* src, cplx* dst, idx_t task,
 
 }  // namespace
 
-void Program::run_stage(const Stage& s, const cplx* src, cplx* dst) {
+void Program::run_stage(const Stage& s, const cplx* src, cplx* dst,
+                        threading::ThreadPool* pool) const {
   const idx_t p = s.parallel_p;
   if (p <= 1 || policy_ == ExecPolicy::kSequential) {
     run_chunk(s, src, dst, 0, s.iters);
     return;
   }
   if (policy_ == ExecPolicy::kThreadPool) {
-    util::require(pool_ != nullptr,
-                  "thread-pool policy requires a pool (see set_pool)");
-    pool_->run([&](int task) {
+    util::require(pool != nullptr, "thread-pool policy requires a pool");
+    pool->run([&](int task) {
       // When the pool has fewer threads than p, trailing logical tasks
       // are folded onto the existing threads.
-      const idx_t tasks = std::max<idx_t>(p, pool_->size());
-      for (idx_t t = task; t < tasks; t += pool_->size()) {
+      const idx_t tasks = std::max<idx_t>(p, pool->size());
+      for (idx_t t = task; t < tasks; t += pool->size()) {
         run_task(s, src, dst, t, tasks);
       }
     });
@@ -118,14 +115,24 @@ void Program::run_stage(const Stage& s, const cplx* src, cplx* dst) {
   run_chunk(s, src, dst, 0, s.iters);
 }
 
-void Program::execute(const cplx* x, cplx* y) {
+void Program::execute(ExecContext& ctx, const cplx* x, cplx* y) const {
   const auto& st = list_.stages;
   util::require(!st.empty(), "empty program");
+  ctx.ensure_buffers(list_.n, st.size() > 1);
+  // Resolve the worker team once per call: an explicitly borrowed team on
+  // the context wins, then the program-level borrowed pool (legacy
+  // single-caller path), then the context's own persistent team.
+  threading::ThreadPool* pool = nullptr;
+  if (policy_ == ExecPolicy::kThreadPool && max_p_ > 1) {
+    pool = ctx.borrowed_pool_ != nullptr ? ctx.borrowed_pool_
+           : pool_ != nullptr            ? pool_
+                                         : ctx.pool_for(max_p_);
+  }
   const cplx* src = x;
   if (x == y && st.size() == 1) {
     // Single-stage in-place: stage maps may collide; stage through a copy.
-    std::copy(x, x + list_.n, buf_[0].begin());
-    src = buf_[0].data();
+    std::copy(x, x + list_.n, ctx.buf_[0].begin());
+    src = ctx.buf_[0].data();
   }
   // Stages apply right-to-left: st.back() first. Intermediates ping-pong
   // between the two scratch buffers; the last stage writes into y. (With
@@ -137,10 +144,10 @@ void Program::execute(const cplx* x, cplx* y) {
     if (k == 0) {
       dst = y;
     } else {
-      dst = buf_[flip].data();
+      dst = ctx.buf_[flip].data();
       flip ^= 1;
     }
-    run_stage(st[k], src, dst);
+    run_stage(st[k], src, dst, pool);
     src = dst;
   }
 }

@@ -1,11 +1,20 @@
-// Executable FFT program: a fused stage list plus scratch buffers and an
-// execution policy. This is the runtime equivalent of the C code Spiral
-// emits — stage boundaries correspond to the barriers between parallel
-// loops in the generated program.
+// Executable FFT program: a fused stage list plus an execution policy.
+// This is the runtime equivalent of the C code Spiral emits — stage
+// boundaries correspond to the barriers between parallel loops in the
+// generated program.
+//
+// Threading contract: a Program is immutable after construction (modulo
+// set_pool, see below). All per-execution state — scratch buffers and the
+// worker team — lives in an ExecContext, so `execute(ctx, x, y)` may be
+// called from many client threads concurrently as long as each brings its
+// own context. The context-free `execute(x, y)` overload keeps the old
+// single-caller convenience API: it routes through one internal context
+// and is therefore NOT safe for concurrent calls on the same Program.
 #pragma once
 
 #include <memory>
 
+#include "backend/exec_context.hpp"
 #include "backend/stage.hpp"
 #include "threading/thread_pool.hpp"
 
@@ -25,31 +34,44 @@ enum class ExecPolicy {
 
 class Program {
  public:
-  /// Takes ownership of the (fused) stage list. `pool` may be null for
-  /// sequential/OpenMP execution; it is borrowed, not owned.
+  /// Takes ownership of the (fused) stage list. `pool` may be null; it is
+  /// borrowed, not owned, and — when set — overrides each context's own
+  /// team (legacy single-caller path).
   Program(StageList stages, ExecPolicy policy,
           threading::ThreadPool* pool = nullptr);
 
-  /// y = program(x). Out-of-place; x == y is supported via an extra copy.
-  /// Buffers must hold size() elements.
-  void execute(const cplx* x, cplx* y);
+  /// y = program(x) using the caller-supplied context. Out-of-place;
+  /// x == y is supported via an extra copy. Buffers must hold size()
+  /// elements. Safe to call concurrently with distinct contexts; a single
+  /// context must not be shared by concurrent callers.
+  void execute(ExecContext& ctx, const cplx* x, cplx* y) const;
+
+  /// Convenience overload over an internal context (single-caller only).
+  void execute(const cplx* x, cplx* y) { execute(self_ctx_, x, y); }
 
   /// Re-points the borrowed pool (e.g. a per-call thread team, as the
-  /// FFTW-like baseline uses). Only meaningful with kThreadPool policy.
+  /// FFTW-like baseline uses). Only meaningful with kThreadPool policy;
+  /// affects every context executed against this program, so only use it
+  /// from single-caller code.
   void set_pool(threading::ThreadPool* pool) noexcept { pool_ = pool; }
 
   [[nodiscard]] idx_t size() const noexcept { return list_.n; }
   [[nodiscard]] const StageList& stages() const noexcept { return list_; }
   [[nodiscard]] ExecPolicy policy() const noexcept { return policy_; }
   [[nodiscard]] double flops() const { return list_.flops(); }
+  /// Largest parallel_p over all stages (worker-team size a context
+  /// needs); 1 for fully sequential programs.
+  [[nodiscard]] int max_parallelism() const noexcept { return max_p_; }
 
  private:
-  void run_stage(const Stage& s, const cplx* src, cplx* dst);
+  void run_stage(const Stage& s, const cplx* src, cplx* dst,
+                 threading::ThreadPool* pool) const;
 
   StageList list_;
   ExecPolicy policy_;
   threading::ThreadPool* pool_;
-  util::cvec buf_[2];
+  int max_p_ = 1;
+  ExecContext self_ctx_;  // backs the context-free execute()
 };
 
 }  // namespace spiral::backend

@@ -1,5 +1,6 @@
 #include "core/spiral_fft.hpp"
 
+#include <map>
 #include <sstream>
 
 #include "backend/lower.hpp"
@@ -43,20 +44,35 @@ rewrite::RuleTreeChooser make_chooser(const PlannerOptions& opt) {
   return [dp](idx_t sz) { return dp->best(sz).tree; };
 }
 
-}  // namespace
-
-bool parallel_plan_available(idx_t n, int threads, idx_t mu) {
-  if (threads <= 1) return false;
-  if (!util::is_pow2(n)) return false;
-  return admissible_split(n, static_cast<idx_t>(threads), mu) != 0;
+/// Wraps a chooser so every (size -> tree) decision lands in `record` —
+/// the raw material of a wisdom descriptor.
+rewrite::RuleTreeChooser recording_chooser(rewrite::RuleTreeChooser inner,
+                                           wisdom::RuleTreeMap* record) {
+  return [inner = std::move(inner), record](idx_t sz) {
+    auto tree = inner(sz);
+    (*record)[sz] = tree;
+    return tree;
+  };
 }
 
-spl::FormulaPtr planner_formula(idx_t n, const PlannerOptions& opt) {
+/// Replays a descriptor's recorded trees; sizes the descriptor does not
+/// cover (e.g. after a leaf-size change upstream) fall back to the
+/// balanced default.
+rewrite::RuleTreeChooser chooser_from_trees(wisdom::RuleTreeMap trees,
+                                            idx_t leaf) {
+  return [trees = std::move(trees), leaf](idx_t sz) -> rewrite::RuleTreePtr {
+    auto it = trees.find(sz);
+    if (it != trees.end()) return it->second;
+    return rewrite::balanced_ruletree(sz, leaf);
+  };
+}
+
+spl::FormulaPtr planner_formula_with(idx_t n, const PlannerOptions& opt,
+                                     const rewrite::RuleTreeChooser& chooser) {
   util::require(util::is_pow2(n) && n >= 2,
                 "plan_dft: n must be a power of two >= 2");
   const idx_t p = opt.threads;
   const idx_t mu = opt.cache_line_complex;
-  auto chooser = make_chooser(opt);
 
   const idx_t nu = opt.vector_nu;
   if (opt.threads > 1) {
@@ -85,41 +101,31 @@ spl::FormulaPtr planner_formula(idx_t n, const PlannerOptions& opt) {
   return rewrite::expand_dfts(spl::DFT(n, opt.direction), chooser, opt.leaf);
 }
 
-FftPlan::FftPlan(spl::FormulaPtr formula, backend::StageList stages,
-                 const PlannerOptions& opt, std::string transform_name)
-    : n_(stages.n),
-      threads_(opt.threads),
-      name_(std::move(transform_name)),
-      formula_(std::move(formula)) {
-  threading::ThreadPool* pool = nullptr;
-  if (opt.threads > 1 && opt.policy == backend::ExecPolicy::kThreadPool) {
-    pool_ = std::make_unique<threading::ThreadPool>(opt.threads);
-    pool = pool_.get();
-  }
-  program_ = std::make_unique<backend::Program>(std::move(stages),
-                                                opt.policy, pool);
+/// Structural planning parameters of a request, normalized per transform
+/// kind (the WHT ignores direction and vectorization, so requests that
+/// differ only there must resolve to the same descriptor).
+wisdom::PlanDescriptor descriptor_shell(wisdom::TransformKind kind, idx_t n,
+                                        idx_t n2, const PlannerOptions& opt) {
+  wisdom::PlanDescriptor d;
+  d.kind = kind;
+  d.n = n;
+  d.n2 = n2;
+  d.threads = opt.threads;
+  d.mu = opt.cache_line_complex;
+  d.nu = kind == wisdom::TransformKind::kWHT ? 0 : opt.vector_nu;
+  d.leaf = opt.leaf;
+  d.direction = kind == wisdom::TransformKind::kWHT ? -1 : opt.direction;
+  return d;
 }
 
-void FftPlan::execute(const cplx* x, cplx* y) { program_->execute(x, y); }
-
-std::string FftPlan::describe() const {
-  std::ostringstream os;
-  os << name_ << "_" << n_ << " ["
-     << (parallel() ? "parallel" : "sequential")
-     << ", " << backend::to_string(program_->policy()) << ", threads="
-     << threads_ << "]\n";
-  os << "formula: " << spl::to_string(formula_) << "\n";
-  os << program_->stages().summary();
-  return os.str();
-}
-
-std::unique_ptr<FftPlan> plan_dft(idx_t n, const PlannerOptions& opt) {
-  auto f = planner_formula(n, opt);
+std::unique_ptr<FftPlan> build_dft(idx_t n, const PlannerOptions& opt,
+                                   const rewrite::RuleTreeChooser& chooser) {
+  auto f = planner_formula_with(n, opt, chooser);
   auto list = backend::lower_fused(f);
   return std::make_unique<FftPlan>(std::move(f), std::move(list), opt);
 }
 
-std::unique_ptr<FftPlan> plan_wht(idx_t n, const PlannerOptions& opt) {
+std::unique_ptr<FftPlan> build_wht(idx_t n, const PlannerOptions& opt) {
   util::require(util::is_pow2(n) && n >= 2,
                 "plan_wht: n must be a power of two >= 2");
   spl::FormulaPtr f = spl::WHT(n);
@@ -133,8 +139,9 @@ std::unique_ptr<FftPlan> plan_wht(idx_t n, const PlannerOptions& opt) {
                                    "WHT");
 }
 
-std::unique_ptr<FftPlan> plan_dft_2d(idx_t rows, idx_t cols,
-                                     const PlannerOptions& opt) {
+std::unique_ptr<FftPlan> build_dft_2d(idx_t rows, idx_t cols,
+                                      const PlannerOptions& opt,
+                                      const rewrite::RuleTreeChooser& chooser) {
   util::require(util::is_pow2(rows) && util::is_pow2(cols) && rows >= 2 &&
                     cols >= 2,
                 "plan_dft_2d: rows and cols must be powers of two >= 2");
@@ -149,14 +156,15 @@ std::unique_ptr<FftPlan> plan_dft_2d(idx_t rows, idx_t cols,
     auto g = rewrite::parallelize(f, opt.threads, opt.cache_line_complex);
     if (!spl::has_smp_tag(g)) f = g;  // else: inadmissible, stay sequential
   }
-  f = rewrite::expand_dfts(f, make_chooser(opt), opt.leaf);
+  f = rewrite::expand_dfts(f, chooser, opt.leaf);
   auto list = backend::lower_fused(f);
   return std::make_unique<FftPlan>(std::move(f), std::move(list), opt,
                                    "DFT2D");
 }
 
-std::unique_ptr<FftPlan> plan_batch_dft(idx_t n, idx_t batch,
-                                        const PlannerOptions& opt) {
+std::unique_ptr<FftPlan> build_batch_dft(
+    idx_t n, idx_t batch, const PlannerOptions& opt,
+    const rewrite::RuleTreeChooser& chooser) {
   util::require(util::is_pow2(n) && n >= 2,
                 "plan_batch_dft: n must be a power of two >= 2");
   util::require(batch >= 1, "plan_batch_dft: batch must be >= 1");
@@ -166,10 +174,148 @@ std::unique_ptr<FftPlan> plan_batch_dft(idx_t n, idx_t batch,
     auto g = rewrite::parallelize(f, opt.threads, opt.cache_line_complex);
     if (!spl::has_smp_tag(g)) f = g;  // else inadmissible: sequential
   }
-  f = rewrite::expand_dfts(f, make_chooser(opt), opt.leaf);
+  f = rewrite::expand_dfts(f, chooser, opt.leaf);
   auto list = backend::lower_fused(f);
   return std::make_unique<FftPlan>(std::move(f), std::move(list), opt,
                                    "BatchDFT");
+}
+
+/// Chooser for a user request: the configured chooser, wrapped to record
+/// its decisions when a descriptor was asked for.
+rewrite::RuleTreeChooser request_chooser(const PlannerOptions& opt,
+                                         wisdom::RuleTreeMap* record) {
+  auto chooser = make_chooser(opt);
+  if (record != nullptr) chooser = recording_chooser(std::move(chooser), record);
+  return chooser;
+}
+
+}  // namespace
+
+bool parallel_plan_available(idx_t n, int threads, idx_t mu) {
+  if (threads <= 1) return false;
+  if (!util::is_pow2(n)) return false;
+  return admissible_split(n, static_cast<idx_t>(threads), mu) != 0;
+}
+
+spl::FormulaPtr planner_formula(idx_t n, const PlannerOptions& opt) {
+  return planner_formula_with(n, opt, make_chooser(opt));
+}
+
+FftPlan::FftPlan(spl::FormulaPtr formula, backend::StageList stages,
+                 const PlannerOptions& opt, std::string transform_name)
+    : n_(stages.n),
+      threads_(opt.threads),
+      name_(std::move(transform_name)),
+      formula_(std::move(formula)) {
+  // The program owns no worker threads: every ExecContext brings (or
+  // lazily builds) its own persistent team, which is what makes one plan
+  // safe to execute from many client threads at once.
+  program_ = std::make_unique<backend::Program>(std::move(stages),
+                                                opt.policy, nullptr);
+}
+
+void FftPlan::execute(backend::ExecContext& ctx, const cplx* x,
+                      cplx* y) const {
+  program_->execute(ctx, x, y);
+}
+
+void FftPlan::execute(const cplx* x, cplx* y) const {
+  // One context per (thread, team size): plans with the same parallelism
+  // share scratch buffers and the persistent worker team on this thread.
+  thread_local std::map<int, backend::ExecContext> contexts;
+  execute(contexts[program_->max_parallelism()], x, y);
+}
+
+std::string FftPlan::describe() const {
+  std::ostringstream os;
+  os << name_ << "_" << n_ << " ["
+     << (parallel() ? "parallel" : "sequential")
+     << ", " << backend::to_string(program_->policy()) << ", threads="
+     << threads_ << "]\n";
+  os << "formula: " << spl::to_string(formula_) << "\n";
+  os << program_->stages().summary();
+  return os.str();
+}
+
+std::unique_ptr<FftPlan> plan_dft(idx_t n, const PlannerOptions& opt,
+                                  wisdom::PlanDescriptor* out_descriptor) {
+  wisdom::RuleTreeMap record;
+  auto plan = build_dft(
+      n, opt, request_chooser(opt, out_descriptor ? &record : nullptr));
+  if (out_descriptor != nullptr) {
+    *out_descriptor =
+        descriptor_shell(wisdom::TransformKind::kDFT, n, 0, opt);
+    out_descriptor->trees = std::move(record);
+  }
+  return plan;
+}
+
+std::unique_ptr<FftPlan> plan_wht(idx_t n, const PlannerOptions& opt,
+                                  wisdom::PlanDescriptor* out_descriptor) {
+  auto plan = build_wht(n, opt);
+  if (out_descriptor != nullptr) {
+    // The WHT expansion is chooser-free: the descriptor carries no trees.
+    *out_descriptor =
+        descriptor_shell(wisdom::TransformKind::kWHT, n, 0, opt);
+  }
+  return plan;
+}
+
+std::unique_ptr<FftPlan> plan_dft_2d(idx_t rows, idx_t cols,
+                                     const PlannerOptions& opt,
+                                     wisdom::PlanDescriptor* out_descriptor) {
+  wisdom::RuleTreeMap record;
+  auto plan = build_dft_2d(
+      rows, cols, opt,
+      request_chooser(opt, out_descriptor ? &record : nullptr));
+  if (out_descriptor != nullptr) {
+    *out_descriptor =
+        descriptor_shell(wisdom::TransformKind::kDFT2D, rows, cols, opt);
+    out_descriptor->trees = std::move(record);
+  }
+  return plan;
+}
+
+std::unique_ptr<FftPlan> plan_batch_dft(idx_t n, idx_t batch,
+                                        const PlannerOptions& opt,
+                                        wisdom::PlanDescriptor* out_descriptor) {
+  wisdom::RuleTreeMap record;
+  auto plan = build_batch_dft(
+      n, batch, opt, request_chooser(opt, out_descriptor ? &record : nullptr));
+  if (out_descriptor != nullptr) {
+    *out_descriptor =
+        descriptor_shell(wisdom::TransformKind::kBatchDFT, n, batch, opt);
+    out_descriptor->trees = std::move(record);
+  }
+  return plan;
+}
+
+std::unique_ptr<FftPlan> plan_from_descriptor(const wisdom::PlanDescriptor& d,
+                                              const PlannerOptions& base) {
+  d.validate();
+  PlannerOptions opt = base;
+  opt.threads = d.threads;
+  opt.cache_line_complex = d.mu;
+  opt.vector_nu = d.nu;
+  opt.leaf = d.leaf;
+  opt.direction = d.direction;
+  opt.autotune = false;  // the descriptor *is* the search result
+  auto chooser = chooser_from_trees(d.trees, d.leaf);
+  switch (d.kind) {
+    case wisdom::TransformKind::kDFT: return build_dft(d.n, opt, chooser);
+    case wisdom::TransformKind::kWHT: return build_wht(d.n, opt);
+    case wisdom::TransformKind::kDFT2D:
+      return build_dft_2d(d.n, d.n2, opt, chooser);
+    case wisdom::TransformKind::kBatchDFT:
+      return build_batch_dft(d.n, d.n2, opt, chooser);
+  }
+  throw std::invalid_argument("plan_from_descriptor: unknown transform kind");
+}
+
+wisdom::PlanDescriptor::Key descriptor_key(wisdom::TransformKind kind,
+                                           idx_t n, idx_t n2,
+                                           const PlannerOptions& opt) {
+  return descriptor_shell(kind, n, n2, opt).key();
 }
 
 }  // namespace spiral::core

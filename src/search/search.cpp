@@ -1,9 +1,19 @@
 #include "search/search.hpp"
 
+#include <atomic>
+
 namespace spiral::search {
 
 using rewrite::BreakdownKind;
 using rewrite::RuleTree;
+
+namespace {
+std::atomic<std::uint64_t> g_dp_invocations{0};
+}  // namespace
+
+std::uint64_t dp_search_invocations() noexcept {
+  return g_dp_invocations.load(std::memory_order_relaxed);
+}
 
 RuleTreePtr DpSearch::best_tree(idx_t n) {
   auto it = memo_.find(n);
@@ -33,6 +43,7 @@ RuleTreePtr DpSearch::best_tree(idx_t n) {
 
 SearchResult DpSearch::best(idx_t n) {
   util::require(util::is_pow2(n) && n >= 2, "DpSearch: 2-power n required");
+  g_dp_invocations.fetch_add(1, std::memory_order_relaxed);
   evals_ = 0;
   SearchResult r;
   r.tree = best_tree(n);

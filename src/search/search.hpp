@@ -43,6 +43,14 @@ class DpSearch {
   /// Runs DP for DFT_n and returns the best tree found.
   SearchResult best(idx_t n);
 
+  /// The memoized best trees discovered so far (size -> tree): the raw
+  /// material for wisdom plan descriptors (src/wisdom/) — exporting this
+  /// map lets another process replay the tuned expansion without paying
+  /// for the search again.
+  [[nodiscard]] const std::map<idx_t, RuleTreePtr>& memo() const {
+    return memo_;
+  }
+
  private:
   RuleTreePtr best_tree(idx_t n);
 
@@ -65,5 +73,10 @@ class DpSearch {
 [[nodiscard]] SearchResult random_search(
     idx_t n, const CostFn& cost, int samples, util::Rng& rng,
     idx_t leaf = rewrite::kMaxCodeletSize);
+
+/// Process-wide count of DpSearch::best() runs. The wisdom tests use the
+/// delta across a planning call to prove that an imported descriptor
+/// skipped the autotuning search entirely.
+[[nodiscard]] std::uint64_t dp_search_invocations() noexcept;
 
 }  // namespace spiral::search

@@ -109,15 +109,44 @@ TEST(Program, RepeatedExecutionIsDeterministic) {
   }
 }
 
-TEST(Program, ThreadPoolRequiredForPoolPolicy) {
-  auto list = multicore_program(256, 2, 2);
+TEST(Program, PoolPolicyWithoutExplicitPoolBuildsOwnTeam) {
+  // No borrowed pool: the execution context lazily builds a persistent
+  // worker team sized to the program's parallelism.
+  const idx_t n = 256;
+  auto list = multicore_program(n, 2, 2);
   Program prog(list, ExecPolicy::kThreadPool, nullptr);
-  util::cvec x(256), y(256);
-  EXPECT_THROW(prog.execute(x.data(), y.data()), std::invalid_argument);
-  // Attaching a pool afterwards makes it executable.
+  EXPECT_EQ(prog.max_parallelism(), 2);
+  util::Rng rng(11);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(n);
+  prog.execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n));
+  // A borrowed pool attached afterwards is still honored.
   threading::ThreadPool pool(2);
   prog.set_pool(&pool);
-  EXPECT_NO_THROW(prog.execute(x.data(), y.data()));
+  prog.execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n));
+}
+
+TEST(Program, DistinctContextsShareOneProgram) {
+  // The plan/context split: one immutable program, several caller-owned
+  // contexts, identical results from each.
+  const idx_t n = 512;
+  auto list = multicore_program(n, 2, 2);
+  const Program prog(list, ExecPolicy::kThreadPool);
+  util::Rng rng(12);
+  const auto x = rng.complex_signal(n);
+  const auto ref = reference_dft(x);
+  ExecContext a, b;
+  util::cvec ya(n), yb(n);
+  prog.execute(a, x.data(), ya.data());
+  prog.execute(b, x.data(), yb.data());
+  EXPECT_LT(max_diff(ya, ref), fft_tolerance(n));
+  EXPECT_LT(max_diff(yb, ref), fft_tolerance(n));
+  // Contexts survive reset() and can be reused across programs.
+  a.reset();
+  prog.execute(a, x.data(), ya.data());
+  EXPECT_LT(max_diff(ya, ref), fft_tolerance(n));
 }
 
 TEST(Program, LinearityProperty) {

@@ -1,0 +1,236 @@
+// Multithreaded stress tests: one shared plan executed from many client
+// threads through per-caller ExecContexts (and through the thread-local
+// legacy API), plus many threads hammering the sharded PlanCache. These
+// are the tests the TSan job (tools/run_tsan.sh) exists for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/plan_cache.hpp"
+#include "test_helpers.hpp"
+
+namespace spiral::core {
+namespace {
+
+using spiral::testing::fft_tolerance;
+using spiral::testing::max_diff;
+using spiral::testing::reference_dft;
+
+// Asserting inside worker threads is UB in gtest; workers record their
+// worst error and the main thread asserts after join.
+
+TEST(Concurrency, SharedPlanManyContexts) {
+  const idx_t n = 256;
+  PlannerOptions opt;
+  opt.threads = 2;
+  opt.cache_line_complex = 2;
+  const auto plan = plan_dft(n, opt);
+  ASSERT_TRUE(plan->parallel());
+
+  util::Rng rng(31);
+  const auto x = rng.complex_signal(n);
+  const auto ref = reference_dft(x);
+
+  constexpr int kClients = 6;
+  constexpr int kReps = 25;
+  std::vector<double> worst(kClients, 1e300);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      backend::ExecContext ctx;  // per-caller mutable state
+      util::cvec y(n);
+      double w = 0.0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        plan->execute(ctx, x.data(), y.data());
+        w = std::max(w, max_diff(y, ref));
+      }
+      worst[std::size_t(c)] = w;
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_LT(worst[std::size_t(c)], fft_tolerance(n)) << "client " << c;
+  }
+}
+
+TEST(Concurrency, SharedPlanDistinctInputsPerThread) {
+  const idx_t n = 256;
+  PlannerOptions opt;
+  opt.threads = 2;
+  opt.cache_line_complex = 2;
+  const auto plan = plan_dft(n, opt);
+
+  constexpr int kClients = 4;
+  std::vector<double> worst(kClients, 1e300);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(100 + c);  // each client transforms its own signal
+      const auto x = rng.complex_signal(n);
+      const auto ref = reference_dft(x);
+      backend::ExecContext ctx;
+      util::cvec y(n);
+      double w = 0.0;
+      for (int rep = 0; rep < 10; ++rep) {
+        plan->execute(ctx, x.data(), y.data());
+        w = std::max(w, max_diff(y, ref));
+      }
+      worst[std::size_t(c)] = w;
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_LT(worst[std::size_t(c)], fft_tolerance(n)) << "client " << c;
+  }
+}
+
+TEST(Concurrency, LegacyExecuteIsThreadSafeViaThreadLocalContexts) {
+  const idx_t n = 512;
+  PlannerOptions opt;
+  opt.threads = 2;
+  opt.cache_line_complex = 2;
+  const auto plan = plan_dft(n, opt);
+
+  util::Rng rng(32);
+  const auto x = rng.complex_signal(n);
+  const auto ref = reference_dft(x);
+
+  constexpr int kClients = 4;
+  std::vector<double> worst(kClients, 1e300);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      util::cvec y(n);
+      double w = 0.0;
+      for (int rep = 0; rep < 20; ++rep) {
+        plan->execute(x.data(), y.data());  // context-free wrapper
+        w = std::max(w, max_diff(y, ref));
+      }
+      worst[std::size_t(c)] = w;
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_LT(worst[std::size_t(c)], fft_tolerance(n)) << "client " << c;
+  }
+}
+
+TEST(Concurrency, PlanCacheHammerMixedKeys) {
+  PlanCache cache(4);
+
+  struct Spec {
+    wisdom::TransformKind kind;
+    idx_t n, n2;
+    int threads;
+  };
+  const Spec specs[] = {
+      {wisdom::TransformKind::kDFT, 64, 0, 1},
+      {wisdom::TransformKind::kDFT, 256, 0, 2},
+      {wisdom::TransformKind::kDFT, 512, 0, 1},
+      {wisdom::TransformKind::kWHT, 128, 0, 1},
+      {wisdom::TransformKind::kDFT2D, 16, 16, 1},
+      {wisdom::TransformKind::kBatchDFT, 64, 4, 2},
+  };
+  constexpr std::size_t kSpecs = std::size(specs);
+
+  auto request = [&](const Spec& s) -> std::shared_ptr<FftPlan> {
+    PlannerOptions opt;
+    opt.threads = s.threads;
+    opt.cache_line_complex = 2;
+    switch (s.kind) {
+      case wisdom::TransformKind::kDFT: return cache.dft(s.n, opt);
+      case wisdom::TransformKind::kWHT: return cache.wht(s.n, opt);
+      case wisdom::TransformKind::kDFT2D:
+        return cache.dft_2d(s.n, s.n2, opt);
+      case wisdom::TransformKind::kBatchDFT:
+        return cache.batch_dft(s.n, s.n2, opt);
+    }
+    return nullptr;
+  };
+
+  constexpr int kClients = 8;
+  constexpr int kIters = 24;
+  std::mutex seen_m;
+  std::map<std::size_t, std::shared_ptr<FftPlan>> seen;  // spec -> first plan
+  std::atomic<int> mismatches{0};
+  std::vector<double> worst(kClients, 0.0);
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      backend::ExecContext ctx;
+      util::Rng rng(200 + c);
+      double w = 0.0;
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t which = std::size_t(c + i) % kSpecs;
+        auto plan = request(specs[which]);
+        {
+          std::lock_guard<std::mutex> lock(seen_m);
+          auto [it, inserted] = seen.emplace(which, plan);
+          if (!inserted && it->second != plan) mismatches.fetch_add(1);
+        }
+        if (i % 6 == 0 && specs[which].kind == wisdom::TransformKind::kDFT) {
+          const auto x = rng.complex_signal(plan->size());
+          util::cvec y(plan->size());
+          plan->execute(ctx, x.data(), y.data());
+          w = std::max(w, max_diff(y, reference_dft(x)));
+        }
+      }
+      worst[std::size_t(c)] = w;
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0)
+      << "same key must always resolve to the same plan object";
+  EXPECT_EQ(cache.size(), kSpecs);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses, std::uint64_t(kClients) * kIters);
+  EXPECT_EQ(st.misses, kSpecs) << "each key must be planned exactly once";
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_LT(worst[std::size_t(c)], fft_tolerance(512)) << "client " << c;
+  }
+}
+
+TEST(Concurrency, SameKeyPlannedOnceUnderContention) {
+  PlanCache cache;
+  PlannerOptions opt;
+  opt.threads = 2;
+  opt.cache_line_complex = 2;
+
+  constexpr int kClients = 8;
+  std::vector<std::shared_ptr<FftPlan>> plans(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back(
+        [&, c] { plans[std::size_t(c)] = cache.dft(1024, opt); });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int c = 1; c < kClients; ++c) {
+    EXPECT_EQ(plans[std::size_t(c)], plans[0]) << "client " << c;
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.misses, 1u) << "in-flight dedup: one planning per key";
+  EXPECT_EQ(st.hits, std::uint64_t(kClients) - 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Concurrency, PlanningFailureIsNotCached) {
+  PlanCache cache;
+  // 24 is not a power of two: planning throws.
+  EXPECT_THROW((void)cache.dft(24), std::exception);
+  EXPECT_EQ(cache.size(), 0u) << "failed planning must not leave an entry";
+  // The failure is retried (and fails again), not served from the cache.
+  EXPECT_THROW((void)cache.dft(24), std::exception);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+}  // namespace
+}  // namespace spiral::core

@@ -33,6 +33,67 @@ TEST(PlanCache, DistinguishesOptions) {
   EXPECT_EQ(cache.size(), 3u);
 }
 
+TEST(PlanCache, VectorNuIsPartOfTheKey) {
+  // Regression test: the cache key used to omit vector_nu, so a scalar
+  // request could be served a vectorized plan (and vice versa).
+  PlanCache cache;
+  PlannerOptions scalar;
+  PlannerOptions vec;
+  vec.vector_nu = 2;
+  auto a = cache.dft(256, scalar);
+  auto b = cache.dft(256, vec);
+  EXPECT_NE(a.get(), b.get())
+      << "scalar and nu=2 requests must not alias in the cache";
+  EXPECT_EQ(cache.size(), 2u);
+  // Both plans still compute the same transform.
+  util::Rng rng(5);
+  const auto x = rng.complex_signal(256);
+  util::cvec ya(256), yb(256);
+  a->execute(x.data(), ya.data());
+  b->execute(x.data(), yb.data());
+  EXPECT_LT(max_diff(ya, yb), 1e-13);
+}
+
+TEST(PlanCache, BatchDftIsCached) {
+  PlanCache cache;
+  auto a = cache.batch_dft(64, 4);
+  auto b = cache.batch_dft(64, 4);
+  auto c = cache.batch_dft(64, 8);  // batch count is part of the key
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCache, StatsCountHitsAndMisses) {
+  PlanCache cache;
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  (void)cache.dft(128);
+  (void)cache.dft(128);
+  (void)cache.wht(64);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.misses, 2u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.wisdom_hits, 0u);
+  EXPECT_GT(st.plan_nanos, 0u);
+  EXPECT_GE(st.plan_seconds(), 0.0);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().plan_nanos, 0u);
+}
+
+TEST(PlanCache, ShardCountIsConfigurable) {
+  PlanCache one(1);
+  EXPECT_EQ(one.shard_count(), 1u);
+  (void)one.dft(64);
+  (void)one.dft(128);
+  EXPECT_EQ(one.size(), 2u);
+  PlanCache dflt;
+  EXPECT_EQ(dflt.shard_count(), PlanCache::kDefaultShards);
+  PlanCache zero(0);  // rounded up to one shard
+  EXPECT_EQ(zero.shard_count(), 1u);
+}
+
 TEST(PlanCache, DistinguishesTransformKinds) {
   PlanCache cache;
   auto a = cache.dft(64);

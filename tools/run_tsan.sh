@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds the library with ThreadSanitizer and runs the concurrency-sensitive
+# test suites (threading primitives, executor, plan cache, wisdom service,
+# multithreaded stress tests).
+#
+# Usage: tools/run_tsan.sh [build-dir]
+#
+# The TSan build lives in its own build tree (default: build-tsan) so it
+# never disturbs the regular build/ directory. Any additional ctest
+# arguments can be passed via CTEST_ARGS.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DSPIRAL_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPIRAL_BUILD_BENCH=OFF \
+  -DSPIRAL_BUILD_EXAMPLES=OFF
+
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
+  test_threading test_backend_program test_plan_cache test_wisdom \
+  test_concurrency
+
+# halt_on_error: fail the job on the first report instead of soldiering on.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure ${CTEST_ARGS:-} -R \
+  '^(test_threading|test_backend_program|test_plan_cache|test_wisdom|test_concurrency)$'
+
+echo "TSan run clean."
