@@ -1,5 +1,6 @@
 #include "backend/lower.hpp"
 
+#include <atomic>
 #include <sstream>
 
 #include "backend/codelets.hpp"
@@ -249,7 +250,7 @@ class Lowerer {
     const idx_t es = ctx.elem_stride;
     ctx.for_each([&](idx_t it, idx_t off) {
       for (idx_t l = 0; l < n; ++l) {
-        const auto idx = static_cast<std::int32_t>(off + l * es);
+        const auto idx = checked_index(off + l * es);
         s.in_map[static_cast<std::size_t>(it * n + l)] = idx;
         s.out_map[static_cast<std::size_t>(it * n + l)] = idx;
       }
@@ -272,10 +273,9 @@ class Lowerer {
     ctx.for_each([&](idx_t it, idx_t off) {
       for (idx_t l = 0; l < sz; ++l) {
         s.out_map[static_cast<std::size_t>(it * sz + l)] =
-            static_cast<std::int32_t>(off + l * es);
+            checked_index(off + l * es);
         s.in_map[static_cast<std::size_t>(it * sz + l)] =
-            static_cast<std::int32_t>(off +
-                                      table[static_cast<std::size_t>(l)] * es);
+            checked_index(off + table[static_cast<std::size_t>(l)] * es);
       }
     });
     s.label = stage_label(f, ctx);
@@ -296,7 +296,7 @@ class Lowerer {
     const idx_t off0 = (f->kind == Kind::kDiagSeg) ? f->seg_off : 0;
     ctx.for_each([&](idx_t it, idx_t off) {
       for (idx_t l = 0; l < sz; ++l) {
-        const auto idx = static_cast<std::int32_t>(off + l * es);
+        const auto idx = checked_index(off + l * es);
         s.in_map[static_cast<std::size_t>(it * sz + l)] = idx;
         s.out_map[static_cast<std::size_t>(it * sz + l)] = idx;
         s.in_scale[static_cast<std::size_t>(it * sz + l)] =
@@ -340,7 +340,7 @@ class Lowerer {
     }
     ctx.for_each([&](idx_t it, idx_t off) {
       for (idx_t l = 0; l < sz; ++l) {
-        const auto idx = static_cast<std::int32_t>(off + l * es);
+        const auto idx = checked_index(off + l * es);
         s.in_map[static_cast<std::size_t>(it * sz + l)] = idx;
         s.out_map[static_cast<std::size_t>(it * sz + l)] = idx;
         s.in_scale[static_cast<std::size_t>(it * sz + l)] =
@@ -361,7 +361,17 @@ class Lowerer {
   StageList list_;
 };
 
+std::atomic<LoweringObserver> g_lowering_observer{nullptr};
+
 }  // namespace
+
+void set_lowering_observer(LoweringObserver obs) noexcept {
+  g_lowering_observer.store(obs, std::memory_order_release);
+}
+
+LoweringObserver lowering_observer() noexcept {
+  return g_lowering_observer.load(std::memory_order_acquire);
+}
 
 FormulaPtr normalize(const FormulaPtr& f) {
   return rewrite::rewrite_fixpoint(f, normalization_rules());
@@ -369,6 +379,12 @@ FormulaPtr normalize(const FormulaPtr& f) {
 
 StageList lower(const FormulaPtr& f) {
   FormulaPtr g = normalize(f);
+  // Fail loudly before materializing maps that int32 cannot address (the
+  // per-entry checked_index casts below are the backstop; this catches the
+  // whole-transform case before any allocation).
+  require(g->size <= kMaxIndexableElems,
+          "lower: transform size exceeds the int32 index-map limit (2^31 "
+          "elements)");
   Lowerer lw(g->size);
   lw.walk(g, LoopCtx{});
   StageList list = std::move(lw).take();
@@ -381,18 +397,20 @@ StageList lower(const FormulaPtr& f) {
     s.in_map.resize(static_cast<std::size_t>(g->size));
     s.out_map.resize(s.in_map.size());
     for (idx_t i = 0; i < g->size; ++i) {
-      s.in_map[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
-      s.out_map[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+      s.in_map[static_cast<std::size_t>(i)] = checked_index(i);
+      s.out_map[static_cast<std::size_t>(i)] = checked_index(i);
     }
     s.label = "I";
     list.stages.push_back(std::move(s));
   }
+  if (auto* obs = lowering_observer()) obs(list);
   return list;
 }
 
 StageList lower_fused(const FormulaPtr& f) {
   StageList list = lower(f);
   fuse(list);
+  if (auto* obs = lowering_observer()) obs(list);
   return list;
 }
 

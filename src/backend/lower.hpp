@@ -31,4 +31,14 @@ namespace spiral::backend {
 /// Full pipeline: normalize, lower and fuse.
 [[nodiscard]] StageList lower_fused(const spl::FormulaPtr& f);
 
+/// Diagnostic hook: when set, invoked with every StageList produced by
+/// lower() and lower_fused() (the fused list is observed as well). The
+/// test suite registers the static verifier here (tests/test_helpers.hpp)
+/// so every program lowered anywhere is race/bounds-checked as a side
+/// effect. Install once at startup; the observer may be called from
+/// multiple planning threads concurrently and must be re-entrant.
+using LoweringObserver = void (*)(const StageList&);
+void set_lowering_observer(LoweringObserver obs) noexcept;
+[[nodiscard]] LoweringObserver lowering_observer() noexcept;
+
 }  // namespace spiral::backend

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,26 @@
 #include "util/common.hpp"
 
 namespace spiral::backend {
+
+/// Largest element count the int32 index maps of a Stage can address:
+/// indices live in [0, 2^31), so programs up to 2^31 elements are
+/// representable. Lowering larger transforms must fail loudly (see
+/// checked_index) instead of silently wrapping the maps.
+inline constexpr idx_t kMaxIndexableElems = idx_t{1} << 31;
+
+/// Checked narrowing for index-map entries. Every index written into
+/// Stage::in_map/out_map must pass through here: sizes near/above 2^31
+/// elements would otherwise wrap to negative int32 values and corrupt
+/// the program silently.
+inline std::int32_t checked_index(idx_t v) {
+  if (v < 0 || v >= kMaxIndexableElems) {
+    throw std::overflow_error(
+        "stage index " + std::to_string(v) +
+        " does not fit the int32 index maps (max " +
+        std::to_string(kMaxIndexableElems - 1) + ")");
+  }
+  return static_cast<std::int32_t>(v);
+}
 
 /// One loop stage:
 ///

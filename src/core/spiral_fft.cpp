@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/verify.hpp"
 #include "backend/lower.hpp"
 #include "rewrite/expand.hpp"
 #include "rewrite/multicore_fft.hpp"
@@ -207,6 +208,21 @@ FftPlan::FftPlan(spl::FormulaPtr formula, backend::StageList stages,
       threads_(opt.threads),
       name_(std::move(transform_name)),
       formula_(std::move(formula)) {
+  if (opt.verify_lowering) {
+    // Static verification of the lowered program (Definition 1 and the
+    // stage-IR execution contract). Any finding — error or warning — is a
+    // generator bug: the planner must never hand out a program that
+    // races, false-shares or loses elements.
+    analysis::Options vo;
+    vo.mu = opt.cache_line_complex;
+    const analysis::Report report = analysis::verify(stages, vo);
+    if (!report.clean()) {
+      throw std::logic_error("verify_lowering: plan for " + name_ + "_" +
+                             std::to_string(n_) +
+                             " failed static verification\n" +
+                             report.to_string());
+    }
+  }
   // The program owns no worker threads: every ExecContext brings (or
   // lazily builds) its own persistent team, which is what makes one plan
   // safe to execute from many client threads at once.

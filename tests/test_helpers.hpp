@@ -1,11 +1,13 @@
-// Shared helpers for the test suite: tolerant complex comparisons and
-// reference DFT utilities.
+// Shared helpers for the test suite: tolerant complex comparisons,
+// reference DFT utilities, and the suite-wide lowering verifier.
 #pragma once
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "analysis/verify.hpp"
+#include "backend/lower.hpp"
 #include "spl/dense.hpp"
 #include "spl/formula.hpp"
 #include "spl/twiddle.hpp"
@@ -13,6 +15,32 @@
 #include "util/rng.hpp"
 
 namespace spiral::testing {
+
+namespace detail {
+
+/// Runs the static verifier (races + bounds: the execution-safety subset;
+/// schedule-quality warnings like false sharing are *not* checked here
+/// because baselines such as the FFTW-like block-cyclic plans violate
+/// them by design) on every program produced by backend::lower() /
+/// lower_fused() anywhere in a test binary.
+inline void verify_lowered_program(const backend::StageList& list) {
+  const auto report =
+      analysis::verify(list, analysis::Options::execution_safety());
+  if (!report.ok()) {
+    ADD_FAILURE() << "lowered program failed static verification:\n"
+                  << report.to_string();
+  }
+}
+
+/// Registers the verifier as the lowering observer once per test binary,
+/// so every suite gets race/bounds checking of every lowered program with
+/// zero per-test boilerplate.
+[[maybe_unused]] inline const bool lowering_verifier_installed = [] {
+  backend::set_lowering_observer(&verify_lowered_program);
+  return true;
+}();
+
+}  // namespace detail
 
 /// Numerical tolerance for comparing FFT outputs. Scales mildly with the
 /// transform size to absorb accumulated rounding.

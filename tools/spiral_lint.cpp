@@ -1,0 +1,233 @@
+// spiral-lint: static verification of lowered programs from the command
+// line. Lints either every plan recorded in a wisdom file or a single
+// transform specification, printing the analyzer's findings and exiting
+// nonzero when any are present — so CI can gate on the paper's
+// correctness/performance guarantees (Definition 1: load balance and
+// false-sharing freedom) without executing anything.
+//
+// Usage:
+//   spiral-lint --wisdom=FILE [common flags]
+//   spiral-lint --kind=dft|wht|dft2d|batch --n=N [--n2=M] [--threads=P]
+//               [--nu=NU] [--leaf=L] [--dir=-1|1] [--sched-block=B]
+//               [common flags]
+//
+// Common flags:
+//   --machine=NAME   take mu from a paper machine (substring match)
+//   --mu=MU          cache-line length in complex doubles (default 4)
+//   --imbalance=X    load-imbalance warning threshold (default 1.5)
+//   --no-coverage / --no-races / --no-false-sharing / --no-load-balance
+//                    disable individual diagnostic groups
+//   --quiet          suppress per-plan reports; print only the summary
+//
+// Exit codes: 0 = all plans clean, 1 = findings reported, 2 = bad usage,
+// unreadable/corrupt input, or a plan that cannot be rebuilt at all.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/verify.hpp"
+#include "core/spiral_fft.hpp"
+#include "machine/config.hpp"
+#include "util/cli.hpp"
+#include "wisdom/wisdom.hpp"
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: spiral-lint --wisdom=FILE [flags]\n"
+               "       spiral-lint --kind=dft|wht|dft2d|batch --n=N [--n2=M]"
+               " [--threads=P]\n"
+               "                   [--nu=NU] [--leaf=L] [--dir=-1|1]"
+               " [--sched-block=B] [flags]\n"
+               "flags: --machine=NAME --mu=MU --imbalance=X --quiet\n"
+               "       --no-coverage --no-races --no-false-sharing"
+               " --no-load-balance\n"
+               "exit:  0 clean, 1 findings, 2 usage/corrupt input\n");
+}
+
+/// One linted plan: its display name and the verifier's report.
+struct LintItem {
+  std::string name;
+  spiral::analysis::Report report;
+};
+
+int run(const spiral::util::CliArgs& args) {
+  using namespace spiral;
+
+  analysis::Options vo;
+  vo.mu = args.get_int("mu", 4);
+  vo.imbalance_threshold = args.get_double("imbalance", 1.5);
+  vo.check_coverage = !args.has("no-coverage");
+  vo.check_races = !args.has("no-races");
+  vo.check_false_sharing = !args.has("no-false-sharing");
+  vo.check_load_balance = !args.has("no-load-balance");
+  const bool quiet = args.has("quiet");
+
+  if (args.has("machine")) {
+    const std::string want = args.get("machine");
+    bool found = false;
+    for (const auto& cfg : machine::all_machines()) {
+      if (cfg.name.find(want) != std::string::npos) {
+        vo.mu = cfg.mu();
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "spiral-lint: unknown machine '%s'; known:\n",
+                   want.c_str());
+      for (const auto& cfg : machine::all_machines()) {
+        std::fprintf(stderr, "  %s (mu=%lld)\n", cfg.name.c_str(),
+                     static_cast<long long>(cfg.mu()));
+      }
+      return kExitUsage;
+    }
+  }
+
+  // The lint binary owns the verdict: plans must be built with the
+  // plan-time hook off, else a debug build throws before we can report.
+  core::PlannerOptions base;
+  base.verify_lowering = false;
+
+  std::vector<LintItem> items;
+
+  if (args.has("wisdom")) {
+    const std::string path = args.get("wisdom");
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "spiral-lint: cannot read '%s'\n", path.c_str());
+      return kExitUsage;
+    }
+    std::ostringstream blob;
+    blob << in.rdbuf();
+
+    std::vector<wisdom::PlanDescriptor> plans;
+    std::string error;
+    if (!wisdom::parse_text(blob.str(), plans, error)) {
+      std::fprintf(stderr, "spiral-lint: corrupt wisdom file '%s': %s\n",
+                   path.c_str(), error.c_str());
+      return kExitUsage;
+    }
+    if (plans.empty()) {
+      std::fprintf(stderr, "spiral-lint: '%s' holds no plans\n", path.c_str());
+      return kExitUsage;
+    }
+    for (const auto& d : plans) {
+      LintItem item;
+      item.name = std::string(wisdom::to_string(d.kind)) + " n=" +
+                  std::to_string(d.n) +
+                  (d.n2 > 0 ? " n2=" + std::to_string(d.n2) : "") +
+                  " p=" + std::to_string(d.threads) +
+                  " mu=" + std::to_string(d.mu);
+      try {
+        const auto plan = core::plan_from_descriptor(d, base);
+        analysis::Options per_plan = vo;
+        if (!args.has("mu") && !args.has("machine")) per_plan.mu = d.mu;
+        item.report = analysis::verify(plan->stages(), per_plan);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "spiral-lint: cannot rebuild %s: %s\n",
+                     item.name.c_str(), e.what());
+        return kExitUsage;
+      }
+      items.push_back(std::move(item));
+    }
+  } else if (args.has("kind")) {
+    const std::string kind = args.get("kind");
+    const idx_t n = args.get_int("n", 0);
+    const idx_t n2 = args.get_int("n2", 0);
+    if (n <= 0) {
+      std::fprintf(stderr, "spiral-lint: --n=N is required with --kind\n");
+      usage();
+      return kExitUsage;
+    }
+    base.threads = static_cast<int>(args.get_int("threads", 1));
+    base.cache_line_complex = vo.mu;
+    base.vector_nu = args.get_int("nu", 0);
+    base.leaf = args.get_int("leaf", base.leaf);
+    base.direction = static_cast<int>(args.get_int("dir", -1));
+
+    LintItem item;
+    item.name = kind + " n=" + std::to_string(n) +
+                (n2 > 0 ? " n2=" + std::to_string(n2) : "") +
+                " p=" + std::to_string(base.threads);
+    std::unique_ptr<core::FftPlan> plan;
+    try {
+      if (kind == "dft") {
+        plan = core::plan_dft(n, base);
+      } else if (kind == "wht") {
+        plan = core::plan_wht(n, base);
+      } else if (kind == "dft2d") {
+        plan = core::plan_dft_2d(n, n2 > 0 ? n2 : n, base);
+      } else if (kind == "batch") {
+        plan = core::plan_batch_dft(n, n2 > 0 ? n2 : 1, base);
+      } else {
+        std::fprintf(stderr, "spiral-lint: unknown kind '%s'\n", kind.c_str());
+        usage();
+        return kExitUsage;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "spiral-lint: planning failed: %s\n", e.what());
+      return kExitUsage;
+    }
+
+    if (args.has("sched-block")) {
+      // Self-check mode: re-schedule every parallel stage block-cyclically
+      // with the given block (1 reproduces the FFTW-3.1 schedule the paper
+      // measures as a false-sharing cliff) and lint the result.
+      backend::StageList mutated = plan->stages();
+      const idx_t b = args.get_int("sched-block", 1);
+      for (auto& s : mutated.stages) {
+        if (s.parallel_p > 1) s.sched_block = b;
+      }
+      item.report = analysis::verify(mutated, vo);
+      item.name += " sched-block=" + std::to_string(b);
+    } else {
+      item.report = analysis::verify(plan->stages(), vo);
+    }
+    items.push_back(std::move(item));
+  } else {
+    usage();
+    return kExitUsage;
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t dirty = 0;
+  for (const auto& item : items) {
+    errors += item.report.error_count();
+    warnings += item.report.warning_count();
+    if (!item.report.clean()) {
+      ++dirty;
+      std::printf("FAIL %s\n", item.name.c_str());
+      if (!quiet) {
+        std::printf("%s", item.report.to_string().c_str());
+      }
+    } else if (!quiet) {
+      std::printf("ok   %s\n", item.name.c_str());
+    }
+  }
+  std::printf("spiral-lint: %zu plan(s), %zu with findings (%zu error(s), "
+              "%zu warning(s))\n",
+              items.size(), dirty, errors, warnings);
+  return dirty == 0 ? kExitClean : kExitFindings;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spiral::util::CliArgs args(argc, argv);
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spiral-lint: %s\n", e.what());
+    return kExitUsage;
+  }
+}
