@@ -1,0 +1,831 @@
+#include "analysis/rule_audit.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "rewrite/breakdown.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/simplify.hpp"
+#include "rewrite/smp_rules.hpp"
+#include "rewrite/vec_rules.hpp"
+#include "spl/dense.hpp"
+#include "spl/printer.hpp"
+#include "spl/properties.hpp"
+
+namespace spiral::analysis {
+
+using rewrite::Rule;
+using rewrite::RuleSet;
+using rewrite::Trace;
+using spl::Builder;
+using spl::DFT;
+using spl::FormulaPtr;
+using spl::I;
+using spl::Kind;
+using spl::L;
+using spl::Tw;
+using spl::WHT;
+
+const char* to_string(RuleDiag d) {
+  switch (d) {
+    case RuleDiag::kSemanticMismatch: return "semantic-mismatch";
+    case RuleDiag::kMeasureIncrease: return "measure-increase";
+    case RuleDiag::kNonTermination: return "non-termination";
+    case RuleDiag::kNotFullyOptimized: return "not-fully-optimized";
+    case RuleDiag::kResidualTag: return "residual-tag";
+    case RuleDiag::kDeadRule: return "dead-rule";
+    case RuleDiag::kNoInstantiation: return "no-instantiation";
+  }
+  return "?";
+}
+
+const char* to_string(RuleSeverity s) {
+  switch (s) {
+    case RuleSeverity::kError: return "error";
+    case RuleSeverity::kWarning: return "warning";
+    case RuleSeverity::kNote: return "note";
+  }
+  return "?";
+}
+
+RuleSeverity severity_of(RuleDiag d) {
+  switch (d) {
+    case RuleDiag::kSemanticMismatch:
+    case RuleDiag::kMeasureIncrease:
+    case RuleDiag::kNonTermination:
+    case RuleDiag::kNotFullyOptimized:
+    case RuleDiag::kNoInstantiation:
+      return RuleSeverity::kError;
+    case RuleDiag::kDeadRule:
+      return RuleSeverity::kWarning;
+    case RuleDiag::kResidualTag:
+      return RuleSeverity::kNote;
+  }
+  return RuleSeverity::kError;
+}
+
+std::vector<NamedRuleSet> registered_rule_sets() {
+  std::vector<NamedRuleSet> sets;
+  sets.push_back({"simplify", rewrite::simplification_rules()});
+  sets.push_back({"smp", rewrite::smp_rules()});
+  sets.push_back({"vec", rewrite::vec_rules()});
+  // Audit-sized leaf so the grid instantiates the breakdowns at dense-
+  // checkable sizes; the rule bodies are leaf-independent.
+  sets.push_back({"breakdown", rewrite::breakdown_rules(/*leaf=*/4)});
+  return sets;
+}
+
+// ---------------------------------------------------------------------------
+// Termination measure
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::int64_t weight_of(Kind k) {
+  switch (k) {
+    case Kind::kIdentity: return 1;
+    case Kind::kDFT:
+    case Kind::kWHT: return 3;
+    default: return 2;
+  }
+}
+
+std::int64_t nonterminal_mass(const FormulaPtr& f) {
+  std::int64_t m = 0;
+  if (f->kind == Kind::kDFT || f->kind == Kind::kWHT) m += f->n - 1;
+  for (const auto& c : f->children) m += nonterminal_mass(c);
+  return m;
+}
+
+std::int64_t weighted_nodes(const FormulaPtr& f) {
+  std::int64_t w = weight_of(f->kind);
+  for (const auto& c : f->children) w += weighted_nodes(c);
+  return w;
+}
+
+/// Peels unit-identity tensor factors (A (x) I_1, I_1 (x) A) at the root
+/// so a tag's class is invariant under the unit simplifications firing
+/// inside its content.
+FormulaPtr strip_units(FormulaPtr f) {
+  for (;;) {
+    if (f->kind != Kind::kTensor) return f;
+    const auto& a = f->child(0);
+    const auto& b = f->child(1);
+    if (a->kind == Kind::kIdentity && a->n == 1) {
+      f = b;
+    } else if (b->kind == Kind::kIdentity && b->n == 1) {
+      f = a;
+    } else {
+      return f;
+    }
+  }
+}
+
+std::int64_t max_stride_perm_size(const FormulaPtr& f) {
+  std::int64_t m = f->kind == Kind::kStridePerm ? f->size : 0;
+  for (const auto& c : f->children) {
+    m = std::max(m, max_stride_perm_size(c));
+  }
+  return m;
+}
+
+/// Ranks a tag's content shape by distance from the terminal constructs;
+/// second element is the within-class tiebreak. Every smp/vec rule maps a
+/// tag to tags of strictly smaller (class, tiebreak) — or removes it.
+std::pair<std::int64_t, std::int64_t> content_class(const FormulaPtr& raw) {
+  const FormulaPtr s = strip_units(raw);
+  switch (s->kind) {
+    case Kind::kIdentity:
+    case Kind::kF2:
+    case Kind::kTwiddleDiag:
+    case Kind::kDiagSeg:
+    case Kind::kPermBar:
+    case Kind::kTensorPar:
+    case Kind::kDirectSumPar:
+    case Kind::kVecTensor:
+    case Kind::kVecShuffle:
+      return {0, 0};
+    case Kind::kDFT:
+    case Kind::kWHT:
+      return {1, 0};
+    case Kind::kStridePerm:
+      return {4, s->size};
+    case Kind::kTensor: {
+      // perm (x) I before I (x) perm: I_a (x) I_b counts as perm (x) I.
+      if (s->child(1)->kind == Kind::kIdentity) {
+        if (spl::is_permutation(s->child(0))) return {2, s->child(1)->n};
+        return {5, 0};
+      }
+      if (s->child(0)->kind == Kind::kIdentity &&
+          spl::is_permutation(s->child(1))) {
+        return {3, max_stride_perm_size(s)};
+      }
+      return {6, 0};
+    }
+    case Kind::kCompose:
+      return {8, 0};
+    default:  // direct sums, nested tags
+      return {7, 0};
+  }
+}
+
+void collect_tag_ranks(const FormulaPtr& f,
+                       std::vector<std::array<std::int64_t, 4>>* out) {
+  if (f->kind == Kind::kSmpTag || f->kind == Kind::kVecTag) {
+    const auto& content = f->child(0);
+    const auto [cls, tie] = content_class(content);
+    out->push_back({nonterminal_mass(content), cls, tie,
+                    weighted_nodes(content)});
+  }
+  for (const auto& c : f->children) collect_tag_ranks(c, out);
+}
+
+}  // namespace
+
+FormulaMeasure formula_measure(const FormulaPtr& f) {
+  FormulaMeasure m;
+  m.nonterminal_mass = nonterminal_mass(f);
+  m.weighted_nodes = weighted_nodes(f);
+  collect_tag_ranks(f, &m.tag_ranks);
+  std::sort(m.tag_ranks.begin(), m.tag_ranks.end(),
+            std::greater<std::array<std::int64_t, 4>>());
+  return m;
+}
+
+bool measure_less(const FormulaMeasure& a, const FormulaMeasure& b) {
+  if (a.nonterminal_mass != b.nonterminal_mass) {
+    return a.nonterminal_mass < b.nonterminal_mass;
+  }
+  if (a.tag_ranks != b.tag_ranks) {
+    // Dershowitz-Manna order on descending-sorted rank sequences is the
+    // lexicographic order with "proper prefix" meaning smaller — which is
+    // exactly std::lexicographical_compare.
+    return std::lexicographical_compare(a.tag_ranks.begin(),
+                                        a.tag_ranks.end(),
+                                        b.tag_ranks.begin(),
+                                        b.tag_ranks.end());
+  }
+  return a.weighted_nodes < b.weighted_nodes;
+}
+
+std::string to_string(const FormulaMeasure& m) {
+  std::ostringstream os;
+  os << "(nt=" << m.nonterminal_mass << ", tags=[";
+  for (std::size_t i = 0; i < m.tag_ranks.size(); ++i) {
+    if (i > 0) os << " ";
+    const auto& r = m.tag_ranks[i];
+    os << "(" << r[0] << "," << r[1] << "," << r[2] << "," << r[3] << ")";
+  }
+  os << "], w=" << m.weighted_nodes << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+std::size_t RuleAuditReport::error_count() const {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.severity == RuleSeverity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t RuleAuditReport::warning_count() const {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.severity == RuleSeverity::kWarning) ++n;
+  }
+  return n;
+}
+
+std::string RuleAuditReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& f : findings) {
+    os << "  [" << analysis::to_string(f.severity) << "] "
+       << analysis::to_string(f.kind) << " rule=" << f.rule << ": "
+       << f.message << "\n";
+  }
+  os << "  rules audited: " << instantiations.size()
+     << ", steps checked: " << steps_checked << "\n";
+  os << "  instantiations:";
+  for (const auto& [name, n] : instantiations) {
+    os << " " << name << "=" << n;
+  }
+  os << "\n  corpus firings:";
+  for (const auto& [name, n] : fire_counts) {
+    os << " " << name << "=" << n;
+  }
+  os << "\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Soundness grid
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void add_finding(RuleAuditReport* rep, RuleDiag kind, std::string rule,
+                 std::string message) {
+  rep->findings.push_back(
+      {kind, severity_of(kind), std::move(rule), std::move(message)});
+}
+
+FormulaPtr smp_of(idx_t p, idx_t mu, FormulaPtr a) {
+  return Builder::smp(p, mu, std::move(a));
+}
+FormulaPtr vec_of(idx_t nu, FormulaPtr a) {
+  return Builder::vec(nu, std::move(a));
+}
+
+/// Base instantiation candidates per registered set. Sizes are kept
+/// dense-checkable; p, mu, nu >= 2 (the measure's validity domain).
+std::vector<FormulaPtr> grid_candidates(const std::string& set_name) {
+  std::vector<FormulaPtr> c;
+  if (set_name == "simplify" || set_name == "smp" || set_name == "vec") {
+    // Simplification targets (embedded in the smp and vec sets too).
+    c.push_back(Builder::tensor(I(1), DFT(4)));
+    c.push_back(Builder::tensor(DFT(4), I(1)));
+    c.push_back(Builder::tensor(I(1), L(8, 2)));
+    c.push_back(Builder::tensor(L(8, 2), I(1)));
+    c.push_back(Builder::tensor(I(2), I(3)));
+    c.push_back(Builder::tensor(I(4), I(4)));
+    c.push_back(L(8, 1));
+    c.push_back(L(8, 8));
+    c.push_back(L(16, 16));
+    c.push_back(smp_of(2, 2, I(8)));
+    c.push_back(smp_of(4, 4, I(16)));
+    c.push_back(DFT(2));
+  }
+  if (set_name == "smp") {
+    // Tagged nonterminals. 32 and 128 force asymmetric Cooley-Tukey
+    // splits, where D_{m,n} != D_{n,m} — the twiddle soundness witness.
+    c.push_back(smp_of(2, 2, DFT(16)));
+    c.push_back(smp_of(2, 2, DFT(32)));
+    c.push_back(smp_of(2, 2, DFT(64)));
+    c.push_back(smp_of(4, 2, DFT(64)));
+    c.push_back(smp_of(2, 4, DFT(64)));
+    c.push_back(smp_of(2, 2, DFT(128)));
+    c.push_back(smp_of(4, 4, DFT(256)));
+    c.push_back(smp_of(2, 2, WHT(16)));
+    c.push_back(smp_of(2, 2, WHT(32)));
+    c.push_back(smp_of(4, 2, WHT(64)));
+    // Rule 6: tagged compositions.
+    c.push_back(smp_of(2, 2, rewrite::cooley_tukey(4, 4)));
+    c.push_back(smp_of(2, 2, rewrite::cooley_tukey(4, 8)));
+    c.push_back(smp_of(4, 2, rewrite::cooley_tukey(8, 8)));
+    // Rule 8, both variants.
+    c.push_back(smp_of(2, 2, L(16, 4)));
+    c.push_back(smp_of(2, 2, L(32, 4)));
+    c.push_back(smp_of(2, 2, L(32, 2)));
+    c.push_back(smp_of(4, 2, L(64, 8)));
+    c.push_back(smp_of(2, 4, L(64, 2)));
+    // Rules 10 and 7 on permutation tensors.
+    c.push_back(smp_of(2, 2, Builder::tensor(L(8, 2), I(4))));
+    c.push_back(smp_of(2, 2, Builder::tensor(L(8, 4), I(8))));
+    c.push_back(smp_of(4, 4, Builder::tensor(L(16, 4), I(16))));
+    // Rule 7 on compute tensors.
+    c.push_back(smp_of(2, 2, Builder::tensor(DFT(4), I(4))));
+    c.push_back(smp_of(2, 2, Builder::tensor(DFT(4), I(8))));
+    c.push_back(smp_of(4, 2, Builder::tensor(DFT(8), I(8))));
+    // Rule 9.
+    c.push_back(smp_of(2, 2, Builder::tensor(I(4), DFT(4))));
+    c.push_back(smp_of(2, 2, Builder::tensor(I(8), DFT(4))));
+    c.push_back(smp_of(4, 2, Builder::tensor(I(8), DFT(8))));
+    // Rule 11.
+    c.push_back(smp_of(2, 2, Tw(4, 4)));
+    c.push_back(smp_of(2, 2, Tw(4, 8)));
+    c.push_back(smp_of(4, 4, Tw(8, 8)));
+  }
+  if (set_name == "vec") {
+    c.push_back(vec_of(2, DFT(16)));
+    c.push_back(vec_of(2, DFT(64)));
+    c.push_back(vec_of(4, DFT(64)));
+    c.push_back(vec_of(4, DFT(256)));
+    c.push_back(vec_of(2, WHT(16)));
+    c.push_back(vec_of(2, WHT(64)));
+    c.push_back(vec_of(4, WHT(64)));
+    c.push_back(vec_of(2, rewrite::cooley_tukey(4, 4)));
+    c.push_back(vec_of(4, rewrite::cooley_tukey(8, 8)));
+    c.push_back(vec_of(2, rewrite::wht_breakdown(4, 4)));
+    // Shuffle base case and (v2) nested strides.
+    c.push_back(vec_of(2, L(4, 2)));
+    c.push_back(vec_of(2, Builder::tensor(I(4), L(4, 2))));
+    c.push_back(vec_of(4, Builder::tensor(I(2), L(16, 4))));
+    c.push_back(vec_of(4, L(16, 4)));
+    c.push_back(vec_of(2, L(8, 2)));
+    c.push_back(vec_of(2, Builder::tensor(I(2), L(8, 2))));
+    c.push_back(vec_of(2, Builder::tensor(I(4), L(16, 2))));
+    c.push_back(vec_of(4, L(64, 4)));
+    // (v3) perm blocks, (v4) stride splits.
+    c.push_back(vec_of(2, Builder::tensor(L(8, 2), I(4))));
+    c.push_back(vec_of(2, Builder::tensor(L(4, 2), I(2))));
+    c.push_back(vec_of(4, Builder::tensor(L(16, 4), I(8))));
+    c.push_back(vec_of(2, L(16, 4)));
+    c.push_back(vec_of(2, L(32, 8)));
+    c.push_back(vec_of(4, L(64, 8)));
+    // (v5)/(v6) compute tensors.
+    c.push_back(vec_of(2, Builder::tensor(DFT(4), I(4))));
+    c.push_back(vec_of(4, Builder::tensor(DFT(8), I(8))));
+    c.push_back(vec_of(2, Builder::tensor(DFT(8), I(2))));
+    c.push_back(vec_of(2, Builder::tensor(I(4), DFT(4))));
+    c.push_back(vec_of(2, Builder::tensor(I(2), DFT(8))));
+    c.push_back(vec_of(4, Builder::tensor(I(4), DFT(8))));
+    // (v7) diagonals.
+    c.push_back(vec_of(2, Tw(4, 4)));
+    c.push_back(vec_of(4, Tw(8, 8)));
+    c.push_back(vec_of(2, Builder::diag_seg(4, 4, 4, 8)));
+    c.push_back(vec_of(2, I(8)));
+  }
+  if (set_name == "breakdown") {
+    c.push_back(DFT(8));
+    c.push_back(DFT(16));
+    c.push_back(DFT(32));
+    c.push_back(WHT(8));
+    c.push_back(WHT(16));
+    c.push_back(WHT(32));
+  }
+  return c;
+}
+
+/// base + in-context variants, so every rule is also proven to fire (and
+/// splice correctly) below the root: inside a composition and inside a
+/// tensor product.
+std::vector<FormulaPtr> with_contexts(const std::vector<FormulaPtr>& base,
+                                      idx_t max_dense_n) {
+  std::vector<FormulaPtr> out;
+  out.reserve(base.size() * 3);
+  for (const auto& b : base) {
+    out.push_back(b);
+    out.push_back(Builder::compose({b, I(b->size)}));
+    if (b->size * 2 <= max_dense_n) {
+      out.push_back(Builder::tensor(I(2), b));
+    }
+  }
+  return out;
+}
+
+/// Proves one rule sound on every grid candidate it matches: one firing,
+/// dense equivalence, strict measure decrease.
+void audit_rule_grid(const std::string& set_name, const Rule& rule,
+                     const std::vector<FormulaPtr>& candidates,
+                     const RuleAuditOptions& opt, RuleAuditReport* rep) {
+  const RuleSet single{rule};
+  rep->instantiations[rule.name];  // rule exists even with zero matches
+  std::set<std::string> seen;
+  for (const auto& cand : candidates) {
+    if (cand->size > opt.max_dense_n) continue;
+    Trace trace;
+    const FormulaPtr next = rewrite::rewrite_step(cand, single, &trace);
+    if (!next) continue;
+    ++rep->steps_checked;
+    const std::string site =
+        spl::to_string(cand) + " @ " + rewrite::to_string(trace[0].position);
+    const spl::DenseMatrix before = spl::to_dense(cand);
+    const spl::DenseMatrix after = spl::to_dense(next);
+    const double diff = before.max_abs_diff(after);
+    if (diff > opt.tolerance) {
+      add_finding(rep, RuleDiag::kSemanticMismatch, rule.name,
+                  "set " + set_name + ": dense(lhs) != dense(rhs) (max diff " +
+                      std::to_string(diff) + ") on " + site);
+      continue;
+    }
+    const FormulaMeasure mb = formula_measure(cand);
+    const FormulaMeasure ma = formula_measure(next);
+    if (!measure_less(ma, mb)) {
+      add_finding(rep, RuleDiag::kMeasureIncrease, rule.name,
+                  "set " + set_name + ": termination measure did not " +
+                      "decrease on " + site + ": " + to_string(mb) + " -> " +
+                      to_string(ma));
+      continue;
+    }
+    if (seen.insert(site).second) ++rep->instantiations[rule.name];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end corpus + fuzzer
+// ---------------------------------------------------------------------------
+
+const NamedRuleSet* find_set(const std::vector<NamedRuleSet>& sets,
+                             const std::string& name) {
+  for (const auto& s : sets) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+struct CorpusCase {
+  std::string label;
+  FormulaPtr start;
+  RuleSet rules;
+  bool canonical = true;  ///< false: rule order was shuffled (fuzzer)
+  idx_t p = 0, mu = 0;    ///< > 0: expect Definition 1 at the fixpoint
+  idx_t nu = 0;           ///< > 0: expect full vectorization
+};
+
+/// Rewrites one corpus case to fixpoint, checking the termination
+/// certificate on every step (and dense semantics at small sizes), then
+/// the end-state expectation.
+void run_corpus_case(const CorpusCase& cc, const RuleAuditOptions& opt,
+                     RuleAuditReport* rep) {
+  Trace trace;
+  FormulaPtr cur = cc.start;
+  FormulaMeasure cur_m = formula_measure(cur);
+  const bool dense_steps = cc.start->size <= opt.max_e2e_dense_n;
+  spl::DenseMatrix cur_d;
+  if (dense_steps) cur_d = spl::to_dense(cur);
+  std::set<std::string> measure_blamed;
+  int step = 0;
+  for (; step < opt.max_steps; ++step) {
+    const Rule* fired = nullptr;
+    const FormulaPtr next = rewrite::rewrite_step(cur, cc.rules, &trace,
+                                                  &fired);
+    if (!next) break;
+    ++rep->steps_checked;
+    const std::string rule_name = fired != nullptr ? fired->name : "?";
+    const FormulaMeasure next_m = formula_measure(next);
+    if (!measure_less(next_m, cur_m) &&
+        measure_blamed.insert(rule_name).second) {
+      add_finding(rep, RuleDiag::kMeasureIncrease, rule_name,
+                  cc.label + " step " + std::to_string(step) +
+                      ": measure did not decrease: " + to_string(cur_m) +
+                      " -> " + to_string(next_m));
+    }
+    if (dense_steps) {
+      spl::DenseMatrix next_d = spl::to_dense(next);
+      const double diff = cur_d.max_abs_diff(next_d);
+      if (diff > opt.tolerance) {
+        add_finding(rep, RuleDiag::kSemanticMismatch, rule_name,
+                    cc.label + " step " + std::to_string(step) +
+                        ": dense semantics changed (max diff " +
+                        std::to_string(diff) + ")");
+        return;
+      }
+      cur_d = std::move(next_d);
+    }
+    cur = next;
+    cur_m = next_m;
+  }
+  for (const auto& [name, n] : trace.fire_counts) {
+    rep->fire_counts[name] += n;
+  }
+  if (step >= opt.max_steps) {
+    // Blame the most-fired rules, like rewrite_fixpoint's error.
+    std::vector<std::pair<std::int64_t, std::string>> ranked;
+    for (const auto& [name, n] : trace.fire_counts) {
+      ranked.emplace_back(n, name);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::string blame;
+    for (std::size_t i = 0; i < ranked.size() && i < 3; ++i) {
+      blame += " " + ranked[i].second + " (x" +
+               std::to_string(ranked[i].first) + ")";
+    }
+    add_finding(rep, RuleDiag::kNonTermination,
+                ranked.empty() ? "?" : ranked.front().second,
+                cc.label + ": no fixpoint within " +
+                    std::to_string(opt.max_steps) + " steps; most fired:" +
+                    blame);
+    return;
+  }
+  // Fixpoint reached: check the optimization claim.
+  const bool tagged = spl::has_smp_tag(cur) || spl::has_vec_tag(cur);
+  if (cc.p > 0) {
+    const auto check = spl::check_fully_optimized(cur, cc.p, cc.mu);
+    if (!check.ok) {
+      const RuleDiag kind = cc.canonical ? RuleDiag::kNotFullyOptimized
+                                         : RuleDiag::kResidualTag;
+      add_finding(rep, kind, "<smp>",
+                  cc.label + ": fixpoint violates Definition 1: " +
+                      check.reason);
+    }
+  } else if (cc.nu > 0) {
+    if (!rewrite::is_fully_vectorized(cur, cc.nu)) {
+      const RuleDiag kind = cc.canonical ? RuleDiag::kNotFullyOptimized
+                                         : RuleDiag::kResidualTag;
+      add_finding(rep, kind, "<vec>",
+                  cc.label + ": fixpoint is not fully vectorized" +
+                      (tagged ? " (residual tags)" : ""));
+    }
+  } else if (tagged && !cc.canonical) {
+    add_finding(rep, RuleDiag::kResidualTag, "<corpus>",
+                cc.label + ": shuffled-order fixpoint kept tags");
+  }
+}
+
+/// Deterministic end-to-end derivations: every shipped rule must fire
+/// somewhere in here (or in the fuzz corpus) to count as alive.
+std::vector<CorpusCase> e2e_corpus(const std::vector<NamedRuleSet>& sets) {
+  std::vector<CorpusCase> cases;
+  const NamedRuleSet* simp = find_set(sets, "simplify");
+  const NamedRuleSet* smp = find_set(sets, "smp");
+  const NamedRuleSet* vec = find_set(sets, "vec");
+  const NamedRuleSet* brk = find_set(sets, "breakdown");
+
+  if (smp != nullptr) {
+    const struct { idx_t n, p, mu; bool expect; } smp_cases[] = {
+        {16, 2, 2, true},  {32, 2, 2, true}, {64, 2, 2, true},
+        {64, 4, 2, true},  {64, 2, 4, true}, {8, 2, 2, false},
+    };
+    for (const auto& sc : smp_cases) {
+      CorpusCase cc;
+      cc.label = "e2e smp{DFT_" + std::to_string(sc.n) + "} p=" +
+                 std::to_string(sc.p) + " mu=" + std::to_string(sc.mu);
+      cc.start = smp_of(sc.p, sc.mu, DFT(sc.n));
+      cc.rules = smp->rules;
+      if (sc.expect) {
+        cc.p = sc.p;
+        cc.mu = sc.mu;
+      }
+      cases.push_back(std::move(cc));
+    }
+    cases.push_back({"e2e smp{WHT_16} p=2 mu=2", smp_of(2, 2, WHT(16)),
+                     smp->rules, true, 2, 2, 0});
+    cases.push_back({"e2e smp{WHT_64} p=2 mu=2", smp_of(2, 2, WHT(64)),
+                     smp->rules, true, 2, 2, 0});
+    // Rule 8's two variants and rule 11, end to end.
+    cases.push_back({"e2e smp{L(32,4)}", smp_of(2, 2, L(32, 4)), smp->rules,
+                     true, 2, 2, 0});
+    cases.push_back({"e2e smp{L(32,2)}", smp_of(2, 2, L(32, 2)), smp->rules,
+                     true, 2, 2, 0});
+    cases.push_back({"e2e smp{D(4,8)}", smp_of(2, 2, Tw(4, 8)), smp->rules,
+                     true, 2, 2, 0});
+  }
+  if (vec != nullptr) {
+    const struct { idx_t n, nu; bool wht; } vec_cases[] = {
+        {16, 2, false}, {64, 2, false}, {64, 4, false},
+        {16, 2, true},  {64, 4, true},
+    };
+    for (const auto& vc : vec_cases) {
+      CorpusCase cc;
+      cc.label = std::string("e2e vec{") + (vc.wht ? "WHT_" : "DFT_") +
+                 std::to_string(vc.n) + "} nu=" + std::to_string(vc.nu);
+      cc.start = vec_of(vc.nu, vc.wht ? WHT(vc.n) : DFT(vc.n));
+      cc.rules = vec->rules;
+      cc.nu = vc.nu;
+      cases.push_back(std::move(cc));
+    }
+    cases.push_back({"e2e vec{L(32,4)}", vec_of(2, L(32, 4)), vec->rules,
+                     true, 0, 0, 2});
+  }
+  if (brk != nullptr) {
+    cases.push_back({"e2e breakdown DFT_64", DFT(64), brk->rules, true, 0, 0,
+                     0});
+    cases.push_back({"e2e breakdown WHT_64", WHT(64), brk->rules, true, 0, 0,
+                     0});
+    if (simp != nullptr) {
+      // Down to F_2 butterflies: covers dft-2-base in a real derivation.
+      RuleSet full = rewrite::breakdown_rules(/*leaf=*/2);
+      for (const auto& r : simp->rules) full.push_back(r);
+      cases.push_back({"e2e breakdown+simplify DFT_8", DFT(8),
+                       std::move(full), true, 0, 0, 0});
+    }
+  }
+  if (simp != nullptr) {
+    const FormulaPtr simp_starts[] = {
+        Builder::tensor(I(1), DFT(4)), Builder::tensor(DFT(4), I(1)),
+        Builder::tensor(I(2), I(3)),   L(8, 1),
+        L(8, 8),                       smp_of(2, 2, I(8)),
+        DFT(2),
+    };
+    int i = 0;
+    for (const auto& s : simp_starts) {
+      cases.push_back({"e2e simplify #" + std::to_string(i++), s,
+                       simp->rules, true, 0, 0, 0});
+    }
+  }
+  return cases;
+}
+
+/// Seeded random tagged transforms, every third one with shuffled rule
+/// order: termination and the measure must hold regardless of order; the
+/// Definition-1 claim is asserted for canonical order when the paper's
+/// divisibility condition holds.
+void run_fuzz(const std::vector<NamedRuleSet>& sets,
+              const RuleAuditOptions& opt, RuleAuditReport* rep) {
+  const NamedRuleSet* smp = find_set(sets, "smp");
+  const NamedRuleSet* vec = find_set(sets, "vec");
+  if (smp == nullptr && vec == nullptr) return;
+  util::Rng rng(opt.seed);
+  for (int it = 0; it < opt.fuzz_iters; ++it) {
+    const bool do_vec =
+        vec != nullptr && (smp == nullptr || it % 2 == 1);
+    const idx_t n = idx_t{1} << rng.uniform_int(4, 8);  // 16 .. 256
+    const bool wht = rng.uniform_int(0, 3) == 0;
+    const FormulaPtr base = wht ? WHT(n) : DFT(n);
+    const bool shuffled = it % 3 == 2;
+
+    CorpusCase cc;
+    cc.canonical = !shuffled;
+    if (do_vec) {
+      const idx_t nu = rng.uniform_int(0, 1) == 0 ? 2 : 4;
+      cc.start = vec_of(nu, base);
+      cc.rules = vec->rules;
+      // nu^2 | n (two-powers: n >= nu^2) guarantees full vectorization.
+      if (!shuffled && n % (nu * nu) == 0) cc.nu = nu;
+      cc.label = "fuzz #" + std::to_string(it) + " vec{" +
+                 (wht ? "WHT_" : "DFT_") + std::to_string(n) + "} nu=" +
+                 std::to_string(nu) + (shuffled ? " shuffled" : "");
+    } else {
+      const idx_t p = rng.uniform_int(0, 1) == 0 ? 2 : 4;
+      const idx_t mu = rng.uniform_int(0, 1) == 0 ? 2 : 4;
+      cc.start = smp_of(p, mu, base);
+      cc.rules = smp->rules;
+      // The paper's existence condition for (14): (p*mu)^2 | N.
+      if (!shuffled && n % (p * mu * p * mu) == 0) {
+        cc.p = p;
+        cc.mu = mu;
+      }
+      cc.label = "fuzz #" + std::to_string(it) + " smp{" +
+                 (wht ? "WHT_" : "DFT_") + std::to_string(n) + "} p=" +
+                 std::to_string(p) + " mu=" + std::to_string(mu) +
+                 (shuffled ? " shuffled" : "");
+    }
+    if (shuffled) {
+      std::shuffle(cc.rules.begin(), cc.rules.end(), rng.engine());
+    }
+    run_corpus_case(cc, opt, rep);
+  }
+}
+
+}  // namespace
+
+RuleAuditReport audit_rule_sets(const std::vector<NamedRuleSet>& sets,
+                                const RuleAuditOptions& opt) {
+  RuleAuditReport rep;
+  // 1. Soundness grid: each rule name audited once (simplifications are
+  //    embedded in the smp/vec sets).
+  std::set<std::string> audited;
+  for (const auto& s : sets) {
+    const auto pool = with_contexts(grid_candidates(s.name), opt.max_dense_n);
+    for (const auto& rule : s.rules) {
+      if (!audited.insert(rule.name).second) continue;
+      audit_rule_grid(s.name, rule, pool, opt, &rep);
+    }
+  }
+  for (const auto& [name, n] : rep.instantiations) {
+    if (n < opt.min_instantiations) {
+      add_finding(&rep, RuleDiag::kNoInstantiation, name,
+                  "proven on " + std::to_string(n) + " instantiation(s), " +
+                      std::to_string(opt.min_instantiations) + " required");
+    }
+  }
+  // 2. End-to-end derivations and 3. the fuzzer, both feeding coverage.
+  for (const auto& cc : e2e_corpus(sets)) {
+    run_corpus_case(cc, opt, &rep);
+  }
+  run_fuzz(sets, opt, &rep);
+  // 4. Coverage: a registered rule that never fired anywhere is dead.
+  std::set<std::string> flagged;
+  for (const auto& s : sets) {
+    for (const auto& rule : s.rules) {
+      if (rep.fire_counts[rule.name] == 0 &&
+          flagged.insert(rule.name).second) {
+        add_finding(&rep, RuleDiag::kDeadRule, rule.name,
+                    "never fired across the e2e + fuzz corpus (set " +
+                        s.name + ")");
+      }
+    }
+  }
+  return rep;
+}
+
+RuleAuditReport audit_rules(const RuleAuditOptions& opt) {
+  return audit_rule_sets(registered_rule_sets(), opt);
+}
+
+// ---------------------------------------------------------------------------
+// Mutants
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// First Cooley-Tukey split admissible for smp-dft-breakdown (matches the
+/// shipped chooser's precondition; the exact choice is irrelevant to the
+/// mutant, which corrupts the twiddle parameters of whatever it picks).
+idx_t first_parallel_split(idx_t n, idx_t p, idx_t mu) {
+  for (idx_t m : rewrite::possible_splits(n)) {
+    if (m % (p * mu) == 0 && (n / m) % (p * mu) == 0) return m;
+  }
+  return 0;
+}
+
+Rule wrong_twiddle_rule() {
+  return {"smp-dft-breakdown", [](const FormulaPtr& f) -> FormulaPtr {
+            if (f->kind != Kind::kSmpTag) return nullptr;
+            const auto& c = f->child(0);
+            if (c->kind != Kind::kDFT) return nullptr;
+            const idx_t m = first_parallel_split(c->n, f->p, f->mu);
+            if (m == 0) return nullptr;
+            const idx_t k = c->n / m;
+            // BUG (deliberate): D_{k,m} instead of D_{m,k}.
+            return Builder::smp(
+                f->p, f->mu,
+                Builder::compose({
+                    Builder::tensor(DFT(m, c->root_sign), I(k)),
+                    Tw(k, m, c->root_sign),
+                    Builder::tensor(I(m), DFT(k, c->root_sign)),
+                    L(m * k, m),
+                }));
+          }};
+}
+
+Rule growing_rule() {
+  // Cycles with tensor-unit-left: DFT -> I_1 (x) DFT -> DFT -> ...
+  return {"smp-grow", [](const FormulaPtr& f) -> FormulaPtr {
+            if (f->kind != Kind::kDFT) return nullptr;
+            return Builder::tensor(I(1), f);
+          }};
+}
+
+Rule dead_rule() {
+  // DFT_6 never occurs in the two-power corpus.
+  return {"smp-dead", [](const FormulaPtr& f) -> FormulaPtr {
+            if (f->kind != Kind::kDFT || f->n != 6) return nullptr;
+            return rewrite::cooley_tukey(2, 3, f->root_sign);
+          }};
+}
+
+}  // namespace
+
+std::vector<std::string> known_mutants() {
+  return {"wrong-twiddle", "nonterminating", "dead-rule"};
+}
+
+std::vector<NamedRuleSet> mutated_rule_sets(const std::string& mutant) {
+  std::vector<NamedRuleSet> sets = registered_rule_sets();
+  NamedRuleSet* smp = nullptr;
+  for (auto& s : sets) {
+    if (s.name == "smp") smp = &s;
+  }
+  util::require(smp != nullptr, "registered sets lost the smp set");
+  if (mutant == "wrong-twiddle") {
+    for (auto& r : smp->rules) {
+      if (r.name == "smp-dft-breakdown") {
+        r = wrong_twiddle_rule();
+        return sets;
+      }
+    }
+    throw std::invalid_argument("smp set lost smp-dft-breakdown");
+  }
+  if (mutant == "nonterminating") {
+    smp->rules.push_back(growing_rule());
+    return sets;
+  }
+  if (mutant == "dead-rule") {
+    smp->rules.push_back(dead_rule());
+    return sets;
+  }
+  throw std::invalid_argument("unknown rule mutant '" + mutant +
+                              "'; known: wrong-twiddle, nonterminating, "
+                              "dead-rule");
+}
+
+}  // namespace spiral::analysis

@@ -1,0 +1,200 @@
+// Rule auditor: soundness, termination, and coverage analysis for the
+// rewriting system (the meta-level counterpart of analysis/verify).
+//
+// verify.hpp checks one *lowered program*; this pass checks the *rules
+// themselves* — the Table 1 parallelization rules (Section 3.1), the
+// vectorization rules (Section 3.2), the algorithm-level breakdowns
+// (Section 2.3) and the simplifications. Per rule it establishes:
+//
+//   * soundness      — an auto-enumerated grid of small instantiations
+//                      whose LHS matches; after one firing the dense
+//                      semantics must be preserved exactly:
+//                      to_dense(lhs) == to_dense(rhs) within tolerance.
+//                      Every rule must be proven on at least
+//                      min_instantiations distinct (formula, position)
+//                      pairs, in-context firings included.
+//   * termination    — a well-founded certificate: the lexicographic
+//                      measure formula_measure() must strictly decrease
+//                      on *every* firing, across the grid, the e2e
+//                      derivation corpus and the fuzz corpus; full
+//                      rewrites must reach a fixpoint within max_steps
+//                      (the engine's per-rule firing counters name the
+//                      offending rule otherwise).
+//   * optimization   — a seeded fuzzer over random 2-power DFT/WHT sizes
+//                      and (p, mu) / nu choices, with randomized rule
+//                      order: every canonical-order fixpoint whose size
+//                      satisfies the paper's (p*mu)^2 | N condition must
+//                      pass spl::check_fully_optimized (Definition 1);
+//                      shuffled-order residual tags are reported as
+//                      order-sensitivity notes.
+//   * coverage       — rules that never fire across the whole corpus
+//                      (fuzz + e2e derivations) are flagged dead.
+//
+// The measure (see formula_measure) is the written-down termination
+// argument for the shipped rule system. It is valid on the reachable
+// state space: tags with p >= 2, mu >= 2 (nu >= 2) and tag-free tag
+// contents, which is what every derivation starting from a tagged
+// transform produces; the auditor checks the certificate numerically on
+// every observed firing rather than trusting the pencil proof.
+//
+// Everything is deterministic (seeded) and static: no threads, no
+// execution backends, dense matrices only at small sizes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rewrite/rule.hpp"
+#include "util/rng.hpp"
+
+namespace spiral::analysis {
+
+/// Diagnostic kinds produced by the rule audit.
+enum class RuleDiag {
+  kSemanticMismatch,   ///< dense(lhs) != dense(rhs) after one firing
+  kMeasureIncrease,    ///< the termination measure did not strictly decrease
+  kNonTermination,     ///< a rewrite exceeded the step budget
+  kNotFullyOptimized,  ///< canonical fixpoint violates Definition 1
+  kResidualTag,        ///< shuffled-order fixpoint kept smp/vec tags
+  kDeadRule,           ///< rule never fired across the fuzz + e2e corpus
+  kNoInstantiation,    ///< fewer than min_instantiations grid matches
+};
+
+enum class RuleSeverity {
+  kError,    ///< the rule system is unsound or non-terminating
+  kWarning,  ///< suspicious but not a correctness violation (dead rule)
+  kNote,     ///< informational (rule-order sensitivity)
+};
+
+[[nodiscard]] const char* to_string(RuleDiag d);
+[[nodiscard]] const char* to_string(RuleSeverity s);
+[[nodiscard]] RuleSeverity severity_of(RuleDiag d);
+
+/// One audit finding, anchored to a rule (or a whole-corpus run).
+struct RuleFinding {
+  RuleDiag kind = RuleDiag::kSemanticMismatch;
+  RuleSeverity severity = RuleSeverity::kError;
+  std::string rule;     ///< rule name, or "<set>" for corpus-level findings
+  std::string message;  ///< human-readable detail with the offending case
+};
+
+/// A rule set with the name it is registered (and reported) under.
+struct NamedRuleSet {
+  std::string name;
+  rewrite::RuleSet rules;
+};
+
+/// Every rule set the library ships, as the auditor sees them:
+/// "simplify", "smp" (Table 1 + simplifications), "vec", and "breakdown"
+/// (the algorithm-level balanced splits, at an audit-sized leaf so the
+/// grid instantiates them). Simplification rules are embedded in the smp
+/// and vec sets; the auditor aggregates instantiation counts by rule
+/// name, so each rule is audited once.
+[[nodiscard]] std::vector<NamedRuleSet> registered_rule_sets();
+
+// ---------------------------------------------------------------------------
+// Termination certificate
+// ---------------------------------------------------------------------------
+
+/// The well-founded measure, compared lexicographically:
+///
+///   m1  nonterminal mass: sum of (n - 1) over DFT_n / WHT_n nodes.
+///       Breakdown rules strictly decrease it ((m-1) + (k-1) < mk - 1
+///       for m, k >= 2); no rule duplicates a nonterminal, so no rule
+///       increases it.
+///   m2  the multiset of per-tag ranks, one rank per smp/vec tag node,
+///       compared in the Dershowitz-Manna order (sorted descending,
+///       lexicographic, prefix = smaller). A tag's rank orders its
+///       rewriting obligation: (nonterminal mass of the content, content
+///       class, class tiebreak, weighted size of the content). The class
+///       ranks content shapes by how far they are from the terminal
+///       constructs: compose > generic/I(x)A tensor > A(x)I tensor >
+///       bare stride perm > I(x)perm > perm(x)I > nonterminal > terminal.
+///       Every Table 1 / vec rule either removes a tag or replaces it
+///       with tags of strictly smaller rank.
+///   m3  weighted node count (identity 1, DFT/WHT 3, everything else 2):
+///       strictly decreased by every simplification firing outside tag
+///       contents (inside, m2's weighted-size component already drops).
+struct FormulaMeasure {
+  std::int64_t nonterminal_mass = 0;
+  /// Per-tag ranks (nt mass, class, tiebreak, weighted size), sorted
+  /// descending — the Dershowitz-Manna normal form.
+  std::vector<std::array<std::int64_t, 4>> tag_ranks;
+  std::int64_t weighted_nodes = 0;
+};
+
+[[nodiscard]] FormulaMeasure formula_measure(const spl::FormulaPtr& f);
+
+/// Strict well-founded order: true iff a < b.
+[[nodiscard]] bool measure_less(const FormulaMeasure& a,
+                                const FormulaMeasure& b);
+
+[[nodiscard]] std::string to_string(const FormulaMeasure& m);
+
+// ---------------------------------------------------------------------------
+// Audit driver
+// ---------------------------------------------------------------------------
+
+struct RuleAuditOptions {
+  /// Minimum distinct proven (formula, position) soundness instantiations
+  /// per rule.
+  int min_instantiations = 3;
+  /// Fuzzer iterations (random tagged formulas, randomized rule order).
+  int fuzz_iters = 40;
+  std::uint64_t seed = util::kDefaultSeed;
+  /// Largest transform size materialized densely in the per-rule grid.
+  idx_t max_dense_n = 256;
+  /// Largest size whose *every rewrite step* is dense-checked end to end
+  /// in the e2e / fuzz corpus (each step is O(n^3)).
+  idx_t max_e2e_dense_n = 64;
+  /// Step budget per fixpoint rewrite before kNonTermination.
+  int max_steps = 20000;
+  /// Max |a_ij - b_ij| tolerated between lhs and rhs dense matrices.
+  double tolerance = 1e-9;
+};
+
+struct RuleAuditReport {
+  std::vector<RuleFinding> findings;
+  /// Distinct proven soundness instantiations per rule name.
+  std::map<std::string, int> instantiations;
+  /// Firings per rule name across the e2e + fuzz corpus (coverage).
+  std::map<std::string, std::int64_t> fire_counts;
+  /// Rewrite steps audited in total (grid firings + corpus steps).
+  std::int64_t steps_checked = 0;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+  /// No error-severity findings (warnings/notes tolerated).
+  [[nodiscard]] bool ok() const { return error_count() == 0; }
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] std::size_t warning_count() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Audits the given rule sets (soundness grid + termination certificate +
+/// optimization fuzzing + coverage).
+[[nodiscard]] RuleAuditReport audit_rule_sets(
+    const std::vector<NamedRuleSet>& sets, const RuleAuditOptions& opt = {});
+
+/// Audits registered_rule_sets() — the shipped rule system.
+[[nodiscard]] RuleAuditReport audit_rules(const RuleAuditOptions& opt = {});
+
+// ---------------------------------------------------------------------------
+// Mutation testing (the auditor's own negative tests)
+// ---------------------------------------------------------------------------
+
+/// Names of the built-in rule mutants, each seeding one defect class the
+/// audit must catch: "wrong-twiddle" (Cooley-Tukey with the twiddle
+/// diagonal parameters swapped — a semantic error), "nonterminating"
+/// (a growing rule that cycles with a simplification), "dead-rule" (a
+/// rule whose pattern never occurs).
+[[nodiscard]] std::vector<std::string> known_mutants();
+
+/// registered_rule_sets() with the named mutation applied. Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] std::vector<NamedRuleSet> mutated_rule_sets(
+    const std::string& mutant);
+
+}  // namespace spiral::analysis

@@ -49,8 +49,19 @@ FormulaPtr wht_breakdown(idx_t m, idx_t n) {
   });
 }
 
-FormulaPtr expand_whts(const FormulaPtr& f, idx_t leaf) {
-  RuleSet rules{{
+RuleSet breakdown_rules(idx_t leaf) {
+  RuleSet rules;
+  rules.push_back(Rule{
+      "dft-balanced-breakdown",
+      [leaf](const FormulaPtr& g) -> FormulaPtr {
+        if (g->kind != spl::Kind::kDFT || g->n <= leaf) return nullptr;
+        if (!util::is_pow2(g->n)) return nullptr;
+        const int k = util::log2_exact(g->n);
+        const idx_t m = idx_t{1} << (k / 2);
+        return cooley_tukey(m, g->n / m, g->root_sign);
+      },
+  });
+  rules.push_back(Rule{
       "wht-balanced-breakdown",
       [leaf](const FormulaPtr& g) -> FormulaPtr {
         if (g->kind != spl::Kind::kWHT || g->n <= leaf) return nullptr;
@@ -58,8 +69,14 @@ FormulaPtr expand_whts(const FormulaPtr& f, idx_t leaf) {
         const idx_t m = idx_t{1} << (k / 2);
         return wht_breakdown(m, g->n / m);
       },
-  }};
-  return rewrite_fixpoint(f, rules);
+  });
+  return rules;
+}
+
+FormulaPtr expand_whts(const FormulaPtr& f, idx_t leaf) {
+  // The DFT rule in the set never matches here by construction (expand_whts
+  // is only called on WHT trees); sharing the set keeps one definition.
+  return rewrite_fixpoint(f, breakdown_rules(leaf));
 }
 
 RuleTreePtr RuleTree::leaf(idx_t n) {

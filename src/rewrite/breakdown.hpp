@@ -41,6 +41,12 @@ inline constexpr idx_t kMaxCodeletSize = 32;
 [[nodiscard]] FormulaPtr expand_whts(const FormulaPtr& f,
                                      idx_t leaf = kMaxCodeletSize);
 
+/// The algorithm-level breakdowns packaged as a RuleSet: balanced
+/// Cooley-Tukey for DFT_n and the balanced WHT split, both firing only
+/// above `leaf`. This is the "breakdown" rule set registered with the
+/// rule auditor (analysis/rule_audit) and the ruleset expand_whts runs.
+[[nodiscard]] RuleSet breakdown_rules(idx_t leaf = kMaxCodeletSize);
+
 // ---------------------------------------------------------------------------
 // Ruletrees
 // ---------------------------------------------------------------------------

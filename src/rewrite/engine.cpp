@@ -1,5 +1,7 @@
 #include "rewrite/engine.hpp"
 
+#include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 #include "spl/printer.hpp"
@@ -8,6 +10,16 @@ namespace spiral::rewrite {
 
 using spl::Builder;
 using spl::Kind;
+
+std::string to_string(const std::vector<int>& position) {
+  if (position.empty()) return ".";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < position.size(); ++i) {
+    if (i > 0) os << '.';
+    os << position[i];
+  }
+  return os.str();
+}
 
 FormulaPtr with_children(const FormulaPtr& f,
                          std::vector<FormulaPtr> children) {
@@ -42,20 +54,28 @@ FormulaPtr with_children(const FormulaPtr& f,
   }
 }
 
-FormulaPtr rewrite_step(const FormulaPtr& f, const RuleSet& rules,
-                        Trace* trace) {
+namespace {
+
+/// Recursive worker for rewrite_step: `path` holds the child-index route
+/// from the root to `f` so trace entries can record firing positions.
+FormulaPtr step_at(const FormulaPtr& f, const RuleSet& rules, Trace* trace,
+                   const Rule** fired, std::vector<int>& path) {
   // Try rules at this node first (outermost).
   for (const auto& rule : rules) {
     if (FormulaPtr r = rule.try_apply(f)) {
       if (trace != nullptr) {
-        trace->push_back({rule.name, spl::to_string(f), spl::to_string(r)});
+        trace->record({rule.name, spl::to_string(f), spl::to_string(r), path});
       }
+      if (fired != nullptr) *fired = &rule;
       return r;
     }
   }
   // Otherwise descend, leftmost child first.
   for (std::size_t i = 0; i < f->arity(); ++i) {
-    if (FormulaPtr r = rewrite_step(f->child(i), rules, trace)) {
+    path.push_back(static_cast<int>(i));
+    FormulaPtr r = step_at(f->child(i), rules, trace, fired, path);
+    path.pop_back();
+    if (r) {
       std::vector<FormulaPtr> kids = f->children;
       kids[i] = std::move(r);
       return with_children(f, std::move(kids));
@@ -64,15 +84,43 @@ FormulaPtr rewrite_step(const FormulaPtr& f, const RuleSet& rules,
   return nullptr;
 }
 
+}  // namespace
+
+FormulaPtr rewrite_step(const FormulaPtr& f, const RuleSet& rules,
+                        Trace* trace, const Rule** fired) {
+  std::vector<int> path;
+  return step_at(f, rules, trace, fired, path);
+}
+
 FormulaPtr rewrite_fixpoint(FormulaPtr f, const RuleSet& rules, Trace* trace,
                             int max_steps) {
+  // Blame accounting kept locally so the budget-exhausted error can name
+  // the offending rule even when the caller passes no trace.
+  std::map<std::string, std::int64_t> fires;
   for (int step = 0; step < max_steps; ++step) {
-    FormulaPtr next = rewrite_step(f, rules, trace);
+    const Rule* fired = nullptr;
+    FormulaPtr next = rewrite_step(f, rules, trace, &fired);
     if (!next) return f;
+    if (fired != nullptr) ++fires[fired->name];
     f = std::move(next);
   }
-  throw std::runtime_error(
-      "rewrite_fixpoint: rule set did not terminate within step budget");
+  // Rank rules by firing count: the loop is almost always driven by the
+  // most-fired rule (or a cycle among the top few).
+  std::vector<std::pair<std::string, std::int64_t>> ranked(fires.begin(),
+                                                           fires.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::ostringstream os;
+  os << "rewrite_fixpoint: rule set did not terminate within " << max_steps
+     << " steps; most-fired rule(s):";
+  for (std::size_t i = 0; i < ranked.size() && i < 3; ++i) {
+    os << " " << ranked[i].first << " (x" << ranked[i].second << ")";
+  }
+  throw std::runtime_error(os.str());
+}
+
+FormulaPtr rewrite(FormulaPtr f, const RuleSet& rules, Trace* trace) {
+  return rewrite_fixpoint(std::move(f), rules, trace);
 }
 
 }  // namespace spiral::rewrite

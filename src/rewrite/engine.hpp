@@ -6,7 +6,12 @@
 // rule set: tags flow downward (rule (6) splits a tagged product into
 // tagged factors), so outermost-first termination is natural, and each of
 // the Table 1 rules strictly eliminates or shrinks a tag, guaranteeing
-// termination.
+// termination. The strategy is a contract, not an accident: every step
+// fires at the depth-first pre-order *first* position where any rule
+// matches (rules are tried at a node before its children, children left
+// to right), and tests/test_rewrite_engine.cpp property-tests exactly
+// that. analysis::rule_audit checks the termination claim itself: every
+// rule firing must strictly decrease a well-founded formula measure.
 #pragma once
 
 #include "rewrite/rule.hpp"
@@ -18,16 +23,28 @@ namespace spiral::rewrite {
 [[nodiscard]] FormulaPtr with_children(const FormulaPtr& f,
                                        std::vector<FormulaPtr> children);
 
-/// Applies at most one rule at the outermost matching position.
-/// Returns nullptr when no rule matches anywhere in the tree.
+/// Applies at most one rule at the outermost-leftmost matching position.
+/// Returns nullptr when no rule matches anywhere in the tree. When a rule
+/// fires, `trace` (if given) records the rule name, the matched
+/// subformula's position, and before/after renderings; `fired` (if given)
+/// receives a pointer to the rule that fired (valid while `rules` lives).
 [[nodiscard]] FormulaPtr rewrite_step(const FormulaPtr& f,
                                       const RuleSet& rules,
-                                      Trace* trace = nullptr);
+                                      Trace* trace = nullptr,
+                                      const Rule** fired = nullptr);
 
 /// Rewrites to fixpoint. Throws std::runtime_error if `max_steps` rule
-/// applications do not reach a fixpoint (non-terminating rule set).
+/// applications do not reach a fixpoint (non-terminating rule set); the
+/// error message names the most-fired rules so the offending rule is
+/// reported instead of the engine hanging.
 [[nodiscard]] FormulaPtr rewrite_fixpoint(FormulaPtr f, const RuleSet& rules,
                                           Trace* trace = nullptr,
                                           int max_steps = 100000);
+
+/// Convenience entry: rewrite to fixpoint under the default step budget.
+/// Same guard as rewrite_fixpoint — a bad rule set throws a
+/// std::runtime_error naming the suspect rule rather than hanging.
+[[nodiscard]] FormulaPtr rewrite(FormulaPtr f, const RuleSet& rules,
+                                 Trace* trace = nullptr);
 
 }  // namespace spiral::rewrite

@@ -6,7 +6,9 @@
 // Rule sets are ordered; the engine tries rules in order at every node.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,8 +38,51 @@ struct TraceEntry {
   std::string rule_name;
   std::string before;  ///< rendering of the matched subformula
   std::string after;   ///< rendering of the replacement
+  /// Child-index path from the root to the matched subformula (empty =
+  /// the rule fired at the root). Recorded so rule-ordering regressions
+  /// are observable: the engine's strategy fixes which position fires.
+  std::vector<int> position;
 };
 
-using Trace = std::vector<TraceEntry>;
+/// Renders a child-index path as "." (root) or "0.2.1".
+[[nodiscard]] std::string to_string(const std::vector<int>& position);
+
+/// A full derivation trace: the ordered firing log plus per-rule firing
+/// counters and total step accounting (used by the rule auditor's
+/// coverage analysis and by the engine's non-termination blame report).
+struct Trace {
+  std::vector<TraceEntry> entries;
+  /// How often each rule fired over this trace's lifetime.
+  std::map<std::string, std::int64_t> fire_counts;
+  /// Total rule applications recorded (== sum of fire_counts values).
+  std::int64_t steps = 0;
+
+  void record(TraceEntry e) {
+    ++steps;
+    ++fire_counts[e.rule_name];
+    entries.push_back(std::move(e));
+  }
+
+  /// Firing count of one rule (0 when it never fired).
+  [[nodiscard]] std::int64_t fires(const std::string& rule_name) const {
+    auto it = fire_counts.find(rule_name);
+    return it == fire_counts.end() ? 0 : it->second;
+  }
+
+  // Sequence-style accessors so existing call sites read naturally.
+  [[nodiscard]] std::size_t size() const noexcept { return entries.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries.empty(); }
+  [[nodiscard]] const TraceEntry& operator[](std::size_t i) const {
+    return entries[i];
+  }
+  [[nodiscard]] auto begin() const noexcept { return entries.begin(); }
+  [[nodiscard]] auto end() const noexcept { return entries.end(); }
+
+  void clear() {
+    entries.clear();
+    fire_counts.clear();
+    steps = 0;
+  }
+};
 
 }  // namespace spiral::rewrite

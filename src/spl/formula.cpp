@@ -141,7 +141,6 @@ FormulaPtr Builder::direct_sum_par(std::vector<FormulaPtr> blocks) {
     total += g->size;
   }
   auto f = make(Kind::kDirectSumPar, total);
-  f->p = static_cast<idx_t>(f->children.size());
   f->children = std::move(blocks);
   f->p = static_cast<idx_t>(f->children.size());
   return f;
@@ -277,6 +276,17 @@ idx_t node_count(const FormulaPtr& f) {
   idx_t c = 1;
   for (const auto& ch : f->children) c += node_count(ch);
   return c;
+}
+
+FormulaPtr subtree_at(const FormulaPtr& f, const std::vector<int>& path) {
+  FormulaPtr cur = f;
+  for (int i : path) {
+    if (!cur || i < 0 || static_cast<std::size_t>(i) >= cur->arity()) {
+      return nullptr;
+    }
+    cur = cur->child(static_cast<std::size_t>(i));
+  }
+  return cur;
 }
 
 }  // namespace spiral::spl

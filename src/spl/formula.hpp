@@ -149,4 +149,11 @@ inline FormulaPtr Tw(idx_t m, idx_t n, int sign = -1) {
 /// Number of nodes in the tree (diagnostics / search statistics).
 [[nodiscard]] idx_t node_count(const FormulaPtr& f);
 
+/// Navigates a child-index path (as recorded in rewrite trace entries):
+/// returns the subtree reached by descending child(path[0]), child(path[1])
+/// ... from `f`; the empty path returns `f` itself. Returns nullptr when
+/// the path walks off the tree.
+[[nodiscard]] FormulaPtr subtree_at(const FormulaPtr& f,
+                                    const std::vector<int>& path);
+
 }  // namespace spiral::spl

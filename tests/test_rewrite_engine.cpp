@@ -61,6 +61,107 @@ TEST(Engine, FixpointThrowsOnNonTerminatingRules) {
                std::runtime_error);
 }
 
+TEST(Engine, TraceRecordsPositionsAndFireCounts) {
+  Trace trace;
+  auto f = Builder::tensor(I(1), Builder::tensor(DFT(4), I(1)));
+  (void)rewrite_fixpoint(f, simplification_rules(), &trace);
+  EXPECT_EQ(trace.steps, static_cast<std::int64_t>(trace.size()));
+  EXPECT_EQ(trace.fires("tensor-unit-left"), 1);
+  EXPECT_EQ(trace.fires("tensor-unit-right"), 1);
+  EXPECT_EQ(trace.fires("no-such-rule"), 0);
+  // First firing: outermost match is the I_1 (x) ... at the root.
+  EXPECT_TRUE(trace[0].position.empty());
+  EXPECT_EQ(to_string(trace[0].position), ".");
+}
+
+TEST(Engine, TracePositionsResolveViaSubtreeAt) {
+  Trace trace;
+  // dft-2-base fires strictly below the root.
+  auto f = Builder::tensor(I(4), DFT(2));
+  auto r = rewrite_step(f, simplification_rules(), &trace);
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].rule_name, "dft-2-base");
+  EXPECT_EQ(to_string(trace[0].position), "1");
+  auto matched = spl::subtree_at(f, trace[0].position);
+  ASSERT_NE(matched, nullptr);
+  EXPECT_EQ(spl::to_string(matched), trace[0].before);
+  // Off-tree paths return null instead of asserting.
+  EXPECT_EQ(spl::subtree_at(f, {0, 0}), nullptr);
+  EXPECT_EQ(spl::subtree_at(f, {5}), nullptr);
+}
+
+/// Pre-order-first matchable position: the contract the engine implements
+/// (rules are tried at a node before its children, children left to
+/// right — leftmost-OUTERMOST, the documented strategy of engine.cpp).
+std::vector<int> first_matchable_position(const spl::FormulaPtr& f,
+                                          const RuleSet& rules,
+                                          bool* found) {
+  for (const auto& rule : rules) {
+    if (rule.try_apply(f)) {
+      *found = true;
+      return {};
+    }
+  }
+  for (std::size_t i = 0; i < f->arity(); ++i) {
+    bool sub = false;
+    auto pos = first_matchable_position(f->child(i), rules, &sub);
+    if (sub) {
+      pos.insert(pos.begin(), static_cast<int>(i));
+      *found = true;
+      return pos;
+    }
+  }
+  *found = false;
+  return {};
+}
+
+TEST(Engine, ApplicationOrderIsLeftmostOutermost) {
+  // Property: replaying any derivation step by step, every recorded
+  // firing position is exactly the first matchable position in pre-order
+  // (depth-first, node before children, children left to right).
+  const RuleSet rules = simplification_rules();
+  auto f = Builder::compose({
+      Builder::tensor(I(1), Builder::tensor(DFT(2), I(4))),
+      Builder::compose({L(8, 1), Builder::tensor(I(2), Builder::tensor(
+                                                           DFT(2), I(2)))}),
+  });
+  int steps = 0;
+  for (; steps < 100; ++steps) {
+    Trace trace;
+    auto next = rewrite_step(f, rules, &trace);
+    if (!next) break;
+    ASSERT_EQ(trace.size(), 1u);
+    bool found = false;
+    const auto expected = first_matchable_position(f, rules, &found);
+    ASSERT_TRUE(found);
+    EXPECT_EQ(trace[0].position, expected)
+        << "step " << steps << " on " << spl::to_string(f);
+    f = std::move(next);
+  }
+  EXPECT_GT(steps, 3);
+}
+
+TEST(Engine, BoundedRewriteMatchesFixpoint) {
+  auto f = Builder::tensor(I(1), Builder::tensor(DFT(4), I(1)));
+  EXPECT_TRUE(spl::equal(rewrite(f, simplification_rules()), DFT(4)));
+}
+
+TEST(Engine, NonTerminationErrorNamesTheOffendingRule) {
+  RuleSet bad{{"grow-forever", [](const spl::FormulaPtr& f) -> spl::FormulaPtr {
+                 if (f->kind != Kind::kIdentity) return nullptr;
+                 return Builder::compose({I(f->size), I(f->size)});
+               }}};
+  try {
+    (void)rewrite_fixpoint(I(2), bad, nullptr, 25);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("grow-forever"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("25"), std::string::npos) << msg;
+  }
+}
+
 TEST(Simplify, RemovesUnitTensors) {
   auto f = Builder::tensor(I(1), DFT(8));
   EXPECT_TRUE(spl::equal(simplify(f), DFT(8)));

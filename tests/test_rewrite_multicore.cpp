@@ -5,6 +5,8 @@
 
 #include <array>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "rewrite/expand.hpp"
 #include "rewrite/multicore_fft.hpp"
@@ -86,6 +88,33 @@ TEST(MulticoreFFT, DerivationTraceShowsStages) {
   EXPECT_EQ(rule11, 1);
 }
 
+TEST(MulticoreFFT, DerivationTraceGolden) {
+  // Golden snapshot of the full derivation of (14) for N=64, m=8, p=2,
+  // mu=2: exact rule names, exact firing positions (child-index paths
+  // from the root, "." = root), exact order. Any change to the rule set,
+  // the rules' relative order, or the engine's leftmost-outermost
+  // traversal shows up here as a diff against the published derivation.
+  Trace trace;
+  (void)derive_multicore_ct(64, 8, 2, 2, &trace);
+  const std::vector<std::string> golden = {
+      "smp-6-compose @ .",
+      "smp-7-tensor-tile @ 0",
+      "smp-10-perm-cacheline @ 0",
+      "smp-10-perm-cacheline @ 2",
+      "smp-11-diag-split @ 3",
+      "smp-9-tensor-chunk @ 4",
+      "smp-8-stride-perm @ 5",
+      "smp-9-tensor-chunk @ 5",
+      "smp-10-perm-cacheline @ 6",
+  };
+  ASSERT_EQ(trace.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(trace[i].rule_name + " @ " + to_string(trace[i].position),
+              golden[i])
+        << "step " << i;
+  }
+}
+
 TEST(MulticoreFFT, PerfectLoadBalance) {
   // The paper proves (14) is load-balanced: every processor receives the
   // same arithmetic work.
@@ -111,7 +140,9 @@ TEST(MulticoreFFT, ExpandDftsProducesCodeletLeavesOnly) {
   // No DFT leaf larger than 8 remains.
   std::function<void(const spl::FormulaPtr&)> walk =
       [&](const spl::FormulaPtr& h) {
-        if (h->kind == Kind::kDFT) EXPECT_LE(h->n, 8);
+        if (h->kind == Kind::kDFT) {
+          EXPECT_LE(h->n, 8);
+        }
         for (const auto& c : h->children) walk(c);
       };
   walk(g);

@@ -1,0 +1,183 @@
+// Tests for the rule auditor (analysis/rule_audit): the termination
+// measure's properties, a clean audit of the shipped rule sets, and the
+// auditor's mutation-testing teeth.
+#include <gtest/gtest.h>
+
+#include "analysis/rule_audit.hpp"
+#include "rewrite/breakdown.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/smp_rules.hpp"
+#include "rewrite/vec_rules.hpp"
+#include "spl/printer.hpp"
+
+namespace spiral::analysis {
+namespace {
+
+using rewrite::Trace;
+using spl::Builder;
+using spl::DFT;
+using spl::I;
+using spl::L;
+using spl::Tw;
+using spl::WHT;
+
+/// Fast options for unit tests (the full defaults run in the lint gate).
+RuleAuditOptions quick() {
+  RuleAuditOptions opt;
+  opt.fuzz_iters = 12;
+  opt.max_dense_n = 256;
+  opt.max_e2e_dense_n = 16;
+  return opt;
+}
+
+std::string errors_of(const RuleAuditReport& rep) {
+  std::string s;
+  for (const auto& f : rep.findings) {
+    if (f.severity == RuleSeverity::kError) {
+      s += std::string(to_string(f.kind)) + "(" + f.rule + ") ";
+    }
+  }
+  return s;
+}
+
+bool has_error(const RuleAuditReport& rep, RuleDiag kind) {
+  for (const auto& f : rep.findings) {
+    if (f.kind == kind && f.severity == RuleSeverity::kError) return true;
+  }
+  return false;
+}
+
+TEST(Measure, BreakdownDecreasesNonterminalMass) {
+  const auto before = formula_measure(DFT(16));
+  const auto after = formula_measure(rewrite::cooley_tukey(4, 4));
+  EXPECT_EQ(before.nonterminal_mass, 15);
+  EXPECT_EQ(after.nonterminal_mass, 6);
+  EXPECT_TRUE(measure_less(after, before));
+  EXPECT_FALSE(measure_less(before, after));
+}
+
+TEST(Measure, StrictOrderIsIrreflexive) {
+  const auto m = formula_measure(Builder::smp(2, 2, DFT(16)));
+  EXPECT_FALSE(measure_less(m, m));
+}
+
+TEST(Measure, TagRemovalDecreases) {
+  const auto tagged = formula_measure(Builder::smp(2, 2, L(16, 4)));
+  const auto untagged = formula_measure(L(16, 4));
+  EXPECT_TRUE(measure_less(untagged, tagged));
+}
+
+TEST(Measure, TagClassOrdersObligations) {
+  // compose content outranks its factors under the same tag.
+  const auto over_compose =
+      formula_measure(Builder::smp(2, 2, rewrite::cooley_tukey(4, 4)));
+  const auto over_tensor =
+      formula_measure(Builder::smp(2, 2, Builder::tensor(DFT(4), I(4))));
+  EXPECT_TRUE(measure_less(over_tensor, over_compose));
+}
+
+TEST(Measure, EveryShippedSmpFiringDecreases) {
+  // Replay a whole derivation and re-check the certificate directly.
+  auto f = Builder::smp(2, 2, DFT(64));
+  auto rules = rewrite::smp_rules();
+  auto m = formula_measure(f);
+  int steps = 0;
+  for (; steps < 10000; ++steps) {
+    auto next = rewrite::rewrite_step(f, rules);
+    if (!next) break;
+    auto next_m = formula_measure(next);
+    ASSERT_TRUE(measure_less(next_m, m))
+        << "step " << steps << ": " << to_string(m) << " -> "
+        << to_string(next_m) << " at " << spl::to_string(f);
+    f = std::move(next);
+    m = std::move(next_m);
+  }
+  EXPECT_LT(steps, 10000);
+}
+
+TEST(Measure, EveryShippedVecFiringDecreases) {
+  auto f = Builder::vec(4, DFT(64));
+  auto rules = rewrite::vec_rules();
+  auto m = formula_measure(f);
+  int steps = 0;
+  for (; steps < 10000; ++steps) {
+    auto next = rewrite::rewrite_step(f, rules);
+    if (!next) break;
+    auto next_m = formula_measure(next);
+    ASSERT_TRUE(measure_less(next_m, m)) << "step " << steps;
+    f = std::move(next);
+    m = std::move(next_m);
+  }
+  EXPECT_LT(steps, 10000);
+}
+
+TEST(Audit, RegisteredSetsAreComplete) {
+  const auto sets = registered_rule_sets();
+  ASSERT_EQ(sets.size(), 4u);
+  EXPECT_EQ(sets[0].name, "simplify");
+  EXPECT_EQ(sets[1].name, "smp");
+  EXPECT_EQ(sets[2].name, "vec");
+  EXPECT_EQ(sets[3].name, "breakdown");
+  for (const auto& s : sets) EXPECT_FALSE(s.rules.empty());
+}
+
+TEST(Audit, ShippedRulesPassClean) {
+  const auto rep = audit_rules(quick());
+  EXPECT_TRUE(rep.ok()) << errors_of(rep) << "\n" << rep.to_string();
+  EXPECT_EQ(rep.warning_count(), 0u) << rep.to_string();  // no dead rules
+  // Every rule proven on at least the required instantiation count.
+  for (const auto& [name, n] : rep.instantiations) {
+    EXPECT_GE(n, quick().min_instantiations) << name;
+  }
+  // Every rule fired somewhere in the corpus.
+  for (const auto& s : registered_rule_sets()) {
+    for (const auto& r : s.rules) {
+      EXPECT_GT(rep.fire_counts.at(r.name), 0) << r.name;
+    }
+  }
+}
+
+TEST(Audit, WrongTwiddleMutantIsCaught) {
+  const auto rep = audit_rule_sets(mutated_rule_sets("wrong-twiddle"),
+                                   quick());
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_error(rep, RuleDiag::kSemanticMismatch))
+      << rep.to_string();
+}
+
+TEST(Audit, NonterminatingMutantIsCaught) {
+  auto opt = quick();
+  opt.fuzz_iters = 2;      // every e2e smp case already loops
+  opt.max_steps = 2000;
+  const auto rep = audit_rule_sets(mutated_rule_sets("nonterminating"), opt);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_error(rep, RuleDiag::kMeasureIncrease)) << errors_of(rep);
+  EXPECT_TRUE(has_error(rep, RuleDiag::kNonTermination)) << errors_of(rep);
+}
+
+TEST(Audit, DeadRuleMutantIsCaught) {
+  const auto rep = audit_rule_sets(mutated_rule_sets("dead-rule"), quick());
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_error(rep, RuleDiag::kNoInstantiation)) << errors_of(rep);
+  bool dead_flagged = false;
+  for (const auto& f : rep.findings) {
+    if (f.kind == RuleDiag::kDeadRule && f.rule == "smp-dead") {
+      dead_flagged = true;
+    }
+  }
+  EXPECT_TRUE(dead_flagged) << rep.to_string();
+}
+
+TEST(Audit, UnknownMutantThrows) {
+  EXPECT_THROW((void)mutated_rule_sets("no-such-mutant"),
+               std::invalid_argument);
+}
+
+TEST(Audit, KnownMutantsAllResolve) {
+  for (const auto& name : known_mutants()) {
+    EXPECT_NO_THROW((void)mutated_rule_sets(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace spiral::analysis

@@ -5,11 +5,19 @@
 // correctness/performance guarantees (Definition 1: load balance and
 // false-sharing freedom) without executing anything.
 //
+// A third mode audits the rewriting system itself (analysis/rule_audit):
+// per-rule dense soundness on an instantiation grid, the well-founded
+// termination measure on every firing, Definition-1 fuzzing, and
+// dead-rule coverage. --mutant applies a deliberately broken rule set so
+// CI can prove the auditor actually catches defects.
+//
 // Usage:
 //   spiral-lint --wisdom=FILE [common flags]
 //   spiral-lint --kind=dft|wht|dft2d|batch --n=N [--n2=M] [--threads=P]
 //               [--nu=NU] [--leaf=L] [--dir=-1|1] [--sched-block=B]
 //               [common flags]
+//   spiral-lint --audit-rules [--mutant=NAME] [--fuzz-iters=N] [--seed=S]
+//               [--max-steps=N] [--quiet]
 //
 // Common flags:
 //   --machine=NAME   take mu from a paper machine (substring match)
@@ -28,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/rule_audit.hpp"
 #include "analysis/verify.hpp"
 #include "core/spiral_fft.hpp"
 #include "machine/config.hpp"
@@ -47,6 +56,8 @@ void usage() {
                " [--threads=P]\n"
                "                   [--nu=NU] [--leaf=L] [--dir=-1|1]"
                " [--sched-block=B] [flags]\n"
+               "       spiral-lint --audit-rules [--mutant=NAME]"
+               " [--fuzz-iters=N] [--seed=S] [--max-steps=N]\n"
                "flags: --machine=NAME --mu=MU --imbalance=X --quiet\n"
                "       --no-coverage --no-races --no-false-sharing"
                " --no-load-balance\n"
@@ -59,8 +70,52 @@ struct LintItem {
   spiral::analysis::Report report;
 };
 
+/// --audit-rules: audit the rewriting system (optionally a mutant of it)
+/// and gate on error-severity findings.
+int run_rule_audit(const spiral::util::CliArgs& args) {
+  using namespace spiral;
+
+  analysis::RuleAuditOptions opt;
+  opt.fuzz_iters = static_cast<int>(
+      args.get_int("fuzz-iters", opt.fuzz_iters));
+  opt.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<idx_t>(opt.seed)));
+  opt.max_steps = static_cast<int>(args.get_int("max-steps", opt.max_steps));
+  const bool quiet = args.has("quiet");
+
+  std::vector<analysis::NamedRuleSet> sets;
+  std::string what = "shipped rule sets";
+  if (args.has("mutant")) {
+    const std::string name = args.get("mutant");
+    try {
+      sets = analysis::mutated_rule_sets(name);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "spiral-lint: %s\n", e.what());
+      return kExitUsage;
+    }
+    what = "mutant '" + name + "'";
+  } else {
+    sets = analysis::registered_rule_sets();
+  }
+
+  const analysis::RuleAuditReport report =
+      analysis::audit_rule_sets(sets, opt);
+  if (!quiet || !report.ok()) {
+    std::printf("%s", report.to_string().c_str());
+  }
+  std::printf("spiral-lint: rule audit of %s: %zu finding(s), %zu error(s), "
+              "%zu warning(s)\n",
+              what.c_str(), report.findings.size(), report.error_count(),
+              report.warning_count());
+  return report.ok() ? kExitClean : kExitFindings;
+}
+
 int run(const spiral::util::CliArgs& args) {
   using namespace spiral;
+
+  if (args.has("audit-rules")) {
+    return run_rule_audit(args);
+  }
 
   analysis::Options vo;
   vo.mu = args.get_int("mu", 4);
