@@ -12,8 +12,13 @@
 //   fftw-seq          FFTW3.1-like sequential plan
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "backend/lower.hpp"
 #include "baselines/fftw_like.hpp"
@@ -108,6 +113,76 @@ inline SimResult sim_fftw_parallel(idx_t n, const MachineConfig& cfg) {
   }
   return best;
 }
+
+/// Row-oriented JSON emitter for benchmark results committed to the repo
+/// (BENCH_*.json): an array of flat objects, one per measurement row.
+/// Strings are quoted and escaped, numbers printed raw — just enough JSON
+/// for `python -m json.tool` and plotting scripts, with no dependency.
+class JsonRows {
+ public:
+  void begin_row() { rows_.emplace_back(); }
+
+  void field(const std::string& key, const std::string& value) {
+    std::string quoted;
+    quoted.reserve(value.size() + 2);
+    quoted.append("\"");
+    quoted.append(escaped(value));
+    quoted.append("\"");
+    rows_.back().emplace_back(key, std::move(quoted));
+  }
+  void field(const std::string& key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const std::string& key, std::int64_t value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+  }
+  void field(const std::string& key, int value) {
+    field(key, static_cast<std::int64_t>(value));
+  }
+  void field(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.8g", value);
+    rows_.back().emplace_back(key, buf);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "[\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out.append("  {");
+      for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+        out.append("\"");
+        out.append(rows_[r][f].first);
+        out.append("\": ");
+        out.append(rows_[r][f].second);
+        if (f + 1 < rows_[r].size()) out.append(", ");
+      }
+      out.append(r + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out.append("]\n");
+    return out;
+  }
+
+  /// Writes the rows to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    os << to_string();
+    return static_cast<bool>(os);
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 /// Smallest 2-power size at which `parallel` beats `sequential`, scanning
 /// k in [k_lo, k_hi]. Returns 0 when no crossover found.

@@ -1,0 +1,135 @@
+// Executor-dispatch ablation: fused single-fork execution (one
+// ThreadPool::run for the whole stage list, spin-barrier stage
+// transitions) vs the per-stage fork/join path it replaced vs OpenMP
+// parallel-for dispatch. Real wall-clock on the host CPU.
+//
+// The fused path crosses S+1 barriers per transform (pool dispatch, S-1
+// interior stage transitions, pool completion) where per-stage fork/join
+// crosses 2S; at small N that synchronization is the bulk of the runtime
+// (paper Section 3.2), so the fused dispatch should win there and tie at
+// large N where the codelets dominate.
+//
+// Usage:
+//   bench_executor [--kmin=6] [--kmax=20] [--json=PATH]
+//
+// Prints one CSV block:
+//   policy,p,log2n,n,seconds,pseudo_mflops
+// followed by a fused-vs-per-stage speedup summary per (p, n). --json
+// additionally writes every row to PATH (BENCH_executor.json).
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/spiral_fft.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace spiral;
+
+struct Row {
+  std::string policy;
+  int p;
+  int k;
+  idx_t n;
+  double seconds;
+};
+
+/// Wall-clock seconds per transform for one (policy, p, n) point.
+double measure(backend::ExecPolicy policy, int p, idx_t n) {
+  core::PlannerOptions opt;
+  opt.threads = p;
+  opt.policy = policy;
+  opt.verify_lowering = false;
+  auto plan = core::plan_dft(n, opt);
+  util::Rng rng(n);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  backend::ExecContext ctx;
+  // Min-of-5 with a 20 ms floor: on an oversubscribed host the scheduler
+  // adds heavy-tailed noise, and the minimum is the defensible statistic.
+  return util::time_min_seconds(
+      [&] { plan->execute(ctx, x.data(), y.data()); }, 5, 2e-2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const int kmin = static_cast<int>(args.get_int("kmin", 6));
+  const int kmax = static_cast<int>(args.get_int("kmax", 20));
+
+  struct Policy {
+    backend::ExecPolicy policy;
+    const char* name;
+  };
+  std::vector<Policy> policies = {
+      {backend::ExecPolicy::kThreadPool, "fused"},
+      {backend::ExecPolicy::kThreadPoolPerStage, "per-stage"},
+  };
+  if (backend::openmp_available()) {
+    policies.push_back({backend::ExecPolicy::kOpenMP, "openmp"});
+  }
+
+  std::printf("# Executor dispatch ablation: wall-clock on this host\n");
+  std::printf("policy,p,log2n,n,seconds,pseudo_mflops\n");
+
+  std::vector<Row> rows;
+  for (int p : {2, 4, 8}) {
+    for (int k = kmin; k <= kmax; ++k) {
+      const idx_t n = idx_t{1} << k;
+      for (const auto& pol : policies) {
+        Row r;
+        r.policy = pol.name;
+        r.p = p;
+        r.k = k;
+        r.n = n;
+        r.seconds = measure(pol.policy, p, n);
+        std::printf("%s,%d,%d,%lld,%.3e,%.1f\n", r.policy.c_str(), r.p, r.k,
+                    static_cast<long long>(r.n), r.seconds,
+                    util::pseudo_mflops(r.n, r.seconds));
+        rows.push_back(std::move(r));
+      }
+    }
+  }
+
+  // Headline ratio: fused speedup over the per-stage fork/join path.
+  std::printf("\n# fused speedup over per-stage (>1 = fused faster)\n");
+  std::printf("p,log2n,n,speedup\n");
+  auto find = [&](const char* policy, int p, int k) -> const Row* {
+    for (const auto& r : rows) {
+      if (r.policy == policy && r.p == p && r.k == k) return &r;
+    }
+    return nullptr;
+  };
+  bench::JsonRows json;
+  for (const auto& r : rows) {
+    json.begin_row();
+    json.field("policy", r.policy);
+    json.field("p", r.p);
+    json.field("log2n", r.k);
+    json.field("n", static_cast<std::int64_t>(r.n));
+    json.field("seconds", r.seconds);
+    json.field("pseudo_mflops", util::pseudo_mflops(r.n, r.seconds));
+    const Row* base = find("per-stage", r.p, r.k);
+    if (r.policy == "fused" && base != nullptr) {
+      const double speedup = base->seconds / r.seconds;
+      std::printf("%d,%d,%lld,%.2f\n", r.p, r.k,
+                  static_cast<long long>(r.n), speedup);
+      json.field("speedup_vs_per_stage", speedup);
+    }
+  }
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "BENCH_executor.json");
+    if (!json.write(path)) {
+      std::fprintf(stderr, "bench_executor: cannot write '%s'\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", path.c_str());
+  }
+  return 0;
+}

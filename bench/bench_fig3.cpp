@@ -4,7 +4,7 @@
 //
 // Usage:
 //   bench_fig3 [--machine=coreduo|opteron|pentiumd|xeonmp|all]
-//              [--kmin=6] [--kmax=20] [--real]
+//              [--kmin=6] [--kmax=20] [--real] [--json=PATH]
 //
 // Default prints all four machines (one CSV block per machine):
 //   machine,series,log2n,n,pseudo_mflops
@@ -27,7 +27,8 @@ namespace {
 using namespace spiral;
 using namespace spiral::bench;
 
-void run_simulated(const MachineConfig& cfg, int kmin, int kmax) {
+void run_simulated(const MachineConfig& cfg, int kmin, int kmax,
+                   JsonRows* json) {
   std::printf("# %s: %s\n", cfg.name.c_str(), cfg.description.c_str());
   std::printf("machine,series,log2n,n,pseudo_mflops\n");
   struct Series {
@@ -49,6 +50,14 @@ void run_simulated(const MachineConfig& cfg, int kmin, int kmax) {
     for (const auto& s : series) {
       std::printf("%s,%s,%d,%lld,%.1f\n", cfg.name.c_str(), s.name, k,
                   static_cast<long long>(n), s.value);
+      if (json != nullptr) {
+        json->begin_row();
+        json->field("machine", cfg.name);
+        json->field("series", s.name);
+        json->field("log2n", k);
+        json->field("n", static_cast<std::int64_t>(n));
+        json->field("pseudo_mflops", s.value);
+      }
     }
   }
   std::printf("\n");
@@ -91,17 +100,28 @@ int main(int argc, char** argv) {
   std::printf("# Figure 3 reproduction: DFT performance, pseudo Mflop/s\n");
   std::printf("# (simulated machines; see DESIGN.md for the substitution)\n\n");
 
+  JsonRows json;
+  JsonRows* jp = args.has("json") ? &json : nullptr;
   if (which == "all") {
     for (const auto& cfg : machine::all_machines()) {
-      run_simulated(cfg, kmin, kmax);
+      run_simulated(cfg, kmin, kmax, jp);
     }
   } else {
-    run_simulated(machine::machine_by_name(which), kmin, kmax);
+    run_simulated(machine::machine_by_name(which), kmin, kmax, jp);
   }
 
   if (args.has("real")) {
     run_real(kmin, std::min(kmax, 16),
              static_cast<int>(args.get_int("threads", 2)));
+  }
+
+  if (jp != nullptr) {
+    const std::string path = args.get("json", "BENCH_fig3.json");
+    if (!json.write(path)) {
+      std::fprintf(stderr, "bench_fig3: cannot write '%s'\n", path.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", path.c_str());
   }
   return 0;
 }

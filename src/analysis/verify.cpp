@@ -132,13 +132,20 @@ void verify_stage(const backend::StageList& program, int si,
   };
 
   // -- Well-formedness that later checks depend on: map/scale lengths.
+  //    An affine-compacted side carries no table (its addressing is total
+  //    by construction); only materialized sides must match iters*cn.
   const idx_t expected = s.iters * s.cn;
   const auto esz = static_cast<std::size_t>(expected);
   bool maps_ok = true;
-  if (s.iters < 0 || s.cn < 1 || s.in_map.size() != esz ||
-      s.out_map.size() != esz) {
+  if (s.iters < 0 || s.cn < 1 || (!s.in_affine && s.in_map.size() != esz) ||
+      (!s.out_affine && s.out_map.size() != esz)) {
     std::ostringstream os;
-    os << "index maps have " << s.in_map.size() << "/" << s.out_map.size()
+    os << "index maps have "
+       << (s.in_affine ? std::string("affine")
+                       : std::to_string(s.in_map.size()))
+       << "/"
+       << (s.out_affine ? std::string("affine")
+                        : std::to_string(s.out_map.size()))
        << " entries, expected iters*cn = " << expected;
     add(Diag::kMapSizeMismatch, os.str(), 1);
     maps_ok = false;
@@ -161,29 +168,44 @@ void verify_stage(const backend::StageList& program, int si,
   }
   if (!maps_ok) return;  // the maps cannot be traversed safely
 
-  // -- Bounds: every map entry must address the n-element buffers.
+  // -- Bounds: every addressed element (table entry or affine-evaluated
+  //    index — wrong compacted strides surface right here) must fall in
+  //    the n-element buffers.
   std::int64_t in_oob = 0, out_oob = 0;
-  std::int64_t first_in = -1, first_out = -1;
-  for (std::size_t k = 0; k < esz; ++k) {
-    if (s.in_map[k] < 0 || s.in_map[k] >= n) {
-      if (in_oob++ == 0) first_in = static_cast<std::int64_t>(k);
-    }
-    if (s.out_map[k] < 0 || s.out_map[k] >= n) {
-      if (out_oob++ == 0) first_out = static_cast<std::int64_t>(k);
+  std::int64_t first_in = -1, first_in_val = 0;
+  std::int64_t first_out = -1, first_out_val = 0;
+  for (idx_t it = 0; it < s.iters; ++it) {
+    for (idx_t l = 0; l < s.cn; ++l) {
+      const idx_t ie = s.in_index(it, l);
+      if (ie < 0 || ie >= n) {
+        if (in_oob++ == 0) {
+          first_in = it * s.cn + l;
+          first_in_val = ie;
+        }
+      }
+      const idx_t oe = s.out_index(it, l);
+      if (oe < 0 || oe >= n) {
+        if (out_oob++ == 0) {
+          first_out = it * s.cn + l;
+          first_out_val = oe;
+        }
+      }
     }
   }
   if (in_oob > 0) {
     std::ostringstream os;
-    os << plural(in_oob, "in_map entry") << " outside [0, " << n
-       << ") (first: in_map[" << first_in
-       << "] = " << s.in_map[static_cast<std::size_t>(first_in)] << ")";
+    os << in_oob << " input " << (in_oob == 1 ? "index" : "indices")
+       << " outside [0, " << n
+       << ") (first: in(" << first_in << ") = " << first_in_val
+       << (s.in_affine ? ", affine" : "") << ")";
     add(Diag::kIndexOutOfBounds, os.str(), in_oob);
   }
   if (out_oob > 0) {
     std::ostringstream os;
-    os << plural(out_oob, "out_map entry") << " outside [0, " << n
-       << ") (first: out_map[" << first_out
-       << "] = " << s.out_map[static_cast<std::size_t>(first_out)] << ")";
+    os << out_oob << " output " << (out_oob == 1 ? "index" : "indices")
+       << " outside [0, " << n
+       << ") (first: out(" << first_out << ") = " << first_out_val
+       << (s.out_affine ? ", affine" : "") << ")";
     add(Diag::kIndexOutOfBounds, os.str(), out_oob);
   }
 
@@ -210,7 +232,7 @@ void verify_stage(const backend::StageList& program, int si,
     const idx_t t = task_of(s, tasks, it);
     if (do_balance) ++sc.task_iters[static_cast<std::size_t>(t)];
     for (idx_t l = 0; l < s.cn; ++l) {
-      const std::int32_t e = s.out_map[static_cast<std::size_t>(it * s.cn + l)];
+      const idx_t e = s.out_index(it, l);
       if (e < 0 || e >= n) continue;  // reported above
       auto& w = sc.writer[static_cast<std::size_t>(e)];
       if (w == kNoTask) {
@@ -289,9 +311,10 @@ void verify_stage(const backend::StageList& program, int si,
     for (idx_t it = 0; it < s.iters; ++it) {
       const idx_t t = task_of(s, tasks, it);
       for (idx_t l = 0; l < s.cn; ++l) {
-        const std::int32_t e =
-            s.in_map[static_cast<std::size_t>(it * s.cn + l)];
-        if (e >= 0 && e < n) sc.readers[static_cast<std::size_t>(e)] |= task_bit(t);
+        const idx_t e = s.in_index(it, l);
+        if (e >= 0 && e < n) {
+          sc.readers[static_cast<std::size_t>(e)] |= task_bit(t);
+        }
       }
     }
     std::int64_t rw_races = 0;

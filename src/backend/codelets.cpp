@@ -10,10 +10,14 @@ namespace spiral::backend {
 namespace {
 
 /// Gathers the n input values (applying map/stride and fused scale) into
-/// the stack buffer.
+/// the stack buffer. Affine-compacted stages take the strided branches;
+/// the unit-stride case is a straight contiguous copy the compiler can
+/// turn into wide loads.
 inline void gather(idx_t n, const CodeletIo& io, cplx* buf) {
   if (io.in_map != nullptr) {
     for (idx_t l = 0; l < n; ++l) buf[l] = io.x[io.in_map[l]];
+  } else if (io.in_stride == 1) {
+    for (idx_t l = 0; l < n; ++l) buf[l] = io.x[l];
   } else {
     for (idx_t l = 0; l < n; ++l) buf[l] = io.x[l * io.in_stride];
   }
@@ -28,6 +32,8 @@ inline void scatter(idx_t n, const CodeletIo& io, const cplx* buf) {
     if (io.out_map != nullptr) {
       for (idx_t l = 0; l < n; ++l)
         io.y[io.out_map[l]] = buf[l] * io.out_scale[l];
+    } else if (io.out_stride == 1) {
+      for (idx_t l = 0; l < n; ++l) io.y[l] = buf[l] * io.out_scale[l];
     } else {
       for (idx_t l = 0; l < n; ++l)
         io.y[l * io.out_stride] = buf[l] * io.out_scale[l];
@@ -36,6 +42,8 @@ inline void scatter(idx_t n, const CodeletIo& io, const cplx* buf) {
   }
   if (io.out_map != nullptr) {
     for (idx_t l = 0; l < n; ++l) io.y[io.out_map[l]] = buf[l];
+  } else if (io.out_stride == 1) {
+    for (idx_t l = 0; l < n; ++l) io.y[l] = buf[l];
   } else {
     for (idx_t l = 0; l < n; ++l) io.y[l * io.out_stride] = buf[l];
   }

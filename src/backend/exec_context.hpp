@@ -44,6 +44,8 @@ class ExecContext {
   /// Releases the owned worker team and shrinks the scratch buffers.
   void reset() {
     owned_pool_.reset();
+    stage_barrier_.reset();
+    stage_barrier_size_ = 0;
     buf_[0].clear();
     buf_[0].shrink_to_fit();
     buf_[1].clear();
@@ -74,9 +76,25 @@ class ExecContext {
     return owned_pool_.get();
   }
 
+  /// The team's inter-stage barrier for the fused executor: one
+  /// sense-reversing spin barrier per context, rebuilt only when the
+  /// worker-team size changes. Participant count must equal the executing
+  /// pool's size exactly — the barrier is crossed by every pool member
+  /// between consecutive stages of a fused dispatch.
+  threading::SpinBarrier& stage_barrier_for(int participants) {
+    if (!stage_barrier_ || stage_barrier_size_ != participants) {
+      stage_barrier_ =
+          std::make_unique<threading::SpinBarrier>(participants);
+      stage_barrier_size_ = participants;
+    }
+    return *stage_barrier_;
+  }
+
   util::cvec buf_[2];
   std::unique_ptr<threading::ThreadPool> owned_pool_;
   threading::ThreadPool* borrowed_pool_ = nullptr;
+  std::unique_ptr<threading::SpinBarrier> stage_barrier_;
+  int stage_barrier_size_ = 0;
 };
 
 }  // namespace spiral::backend

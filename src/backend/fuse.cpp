@@ -104,10 +104,15 @@ int fuse(StageList& list) {
   // across a block boundary into a neighbouring loop's gather and break
   // its SIMD lanes. Unconditional fusion remains as a fallback so fused
   // programs never have more data passes than before.
+  // Fusion composes materialized maps; affine-compacted stages (normally
+  // produced only *after* fusion by compact_affine) are left alone.
+  auto compacted = [](const Stage& s) { return s.in_affine || s.out_affine; };
+
   auto try_level = [&](int level) -> bool {
     for (std::size_t i = 0; i + 1 < st.size(); ++i) {
       Stage& left = st[i];
       Stage& right = st[i + 1];
+      if (compacted(left) || compacted(right)) continue;
       if ((level == 0 || level == 3) && left.is_compute &&
           !right.is_compute) {
         if (level == 0 && width(left) > 1) {

@@ -362,11 +362,76 @@ class Lowerer {
 };
 
 std::atomic<LoweringObserver> g_lowering_observer{nullptr};
+std::atomic<std::int32_t> g_affine_stride_mutation{0};
+
+/// Fits an affine pattern base + it*iter_stride + l*elem_stride to a
+/// materialized map, verifying every entry. O(iters*cn), run once at
+/// lowering time.
+bool detect_affine(const std::vector<std::int32_t>& map, idx_t iters,
+                   idx_t cn, AffineMap* out) {
+  if (map.empty() || iters <= 0 || cn <= 0) return false;
+  AffineMap a;
+  a.base = map[0];
+  a.elem_stride = cn > 1 ? idx_t{map[1]} - map[0] : 0;
+  a.iter_stride =
+      iters > 1 ? idx_t{map[static_cast<std::size_t>(cn)]} - map[0] : 0;
+  for (idx_t it = 0; it < iters; ++it) {
+    const idx_t row = a.base + it * a.iter_stride;
+    for (idx_t l = 0; l < cn; ++l) {
+      if (map[static_cast<std::size_t>(it * cn + l)] !=
+          row + l * a.elem_stride) {
+        return false;
+      }
+    }
+  }
+  *out = a;
+  return true;
+}
 
 }  // namespace
 
 void set_lowering_observer(LoweringObserver obs) noexcept {
   g_lowering_observer.store(obs, std::memory_order_release);
+}
+
+void set_affine_stride_mutation(std::int32_t delta) noexcept {
+  g_affine_stride_mutation.store(delta, std::memory_order_release);
+}
+
+std::int32_t affine_stride_mutation() noexcept {
+  return g_affine_stride_mutation.load(std::memory_order_acquire);
+}
+
+int compact_affine(StageList& list) {
+  const std::int32_t mutate = affine_stride_mutation();
+  int dropped = 0;
+  for (auto& s : list.stages) {
+    AffineMap a;
+    if (!s.in_affine && detect_affine(s.in_map, s.iters, s.cn, &a)) {
+      s.in_affine = true;
+      s.in_aff = a;
+      s.in_map.clear();
+      s.in_map.shrink_to_fit();
+      ++dropped;
+    }
+    if (!s.out_affine && detect_affine(s.out_map, s.iters, s.cn, &a)) {
+      if (mutate != 0) {
+        // Seeded defect (see set_affine_stride_mutation): skew the stride
+        // that actually participates in addressing for this stage shape.
+        if (s.cn > 1) {
+          a.elem_stride += mutate;
+        } else {
+          a.iter_stride += mutate;
+        }
+      }
+      s.out_affine = true;
+      s.out_aff = a;
+      s.out_map.clear();
+      s.out_map.shrink_to_fit();
+      ++dropped;
+    }
+  }
+  return dropped;
 }
 
 LoweringObserver lowering_observer() noexcept {
@@ -410,6 +475,9 @@ StageList lower(const FormulaPtr& f) {
 StageList lower_fused(const FormulaPtr& f) {
   StageList list = lower(f);
   fuse(list);
+  // Fusion scrambles maps where it merges permutations; whatever stayed a
+  // plain stride pattern now sheds its index tables for good.
+  compact_affine(list);
   if (auto* obs = lowering_observer()) obs(list);
   return list;
 }

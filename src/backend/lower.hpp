@@ -28,8 +28,27 @@ namespace spiral::backend {
 /// than 64, which should have been expanded by the rewriting level).
 [[nodiscard]] StageList lower(const spl::FormulaPtr& f);
 
-/// Full pipeline: normalize, lower and fuse.
+/// Full pipeline: normalize, lower, fuse and affine-compact.
 [[nodiscard]] StageList lower_fused(const spl::FormulaPtr& f);
+
+/// Affine addressing compaction: for every stage whose in_map/out_map is
+/// an affine pattern base + it*iter_stride + l*elem_stride, drops the
+/// materialized table and records the descriptor (Stage::in_aff/out_aff)
+/// instead. Removes ~8 bytes/element of index traffic from the hot loop
+/// and lets the codelets run their strided fast paths. Returns the number
+/// of map tables dropped. Safe to call repeatedly; lower_fused() runs it
+/// after fusion.
+int compact_affine(StageList& list);
+
+/// Test hook for mutation-testing the lowering verifier: when delta != 0,
+/// compact_affine() corrupts every out-side affine descriptor it produces
+/// by adding delta to the stride (elem_stride for compute stages,
+/// iter_stride for cn == 1 data stages). The resulting program writes the
+/// wrong elements, which analysis::verify must flag (bounds / coverage /
+/// races) — proving the verifier actually guards the compaction. Never
+/// set outside tests and spiral-lint's --mutate-affine gate.
+void set_affine_stride_mutation(std::int32_t delta) noexcept;
+[[nodiscard]] std::int32_t affine_stride_mutation() noexcept;
 
 /// Diagnostic hook: when set, invoked with every StageList produced by
 /// lower() and lower_fused() (the fused list is observed as well). The

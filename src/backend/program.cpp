@@ -1,5 +1,7 @@
 #include "backend/program.hpp"
 
+#include <algorithm>
+
 #include "backend/codelets.hpp"
 
 namespace spiral::backend {
@@ -8,6 +10,7 @@ const char* to_string(ExecPolicy p) {
   switch (p) {
     case ExecPolicy::kSequential: return "sequential";
     case ExecPolicy::kThreadPool: return "pthreads";
+    case ExecPolicy::kThreadPoolPerStage: return "pthreads-per-stage";
     case ExecPolicy::kOpenMP: return "openmp";
   }
   return "?";
@@ -38,10 +41,23 @@ void run_chunk(const Stage& s, const cplx* src, cplx* dst, idx_t lo,
     const idx_t cn = s.cn;
     for (idx_t it = lo; it < hi; ++it) {
       CodeletIo io;
-      io.x = src;
-      io.y = dst;
-      io.in_map = s.in_map.data() + it * cn;
-      io.out_map = s.out_map.data() + it * cn;
+      // Affine-compacted sides address through base pointer + stride (the
+      // codelets' strided fast path); materialized sides stream the int32
+      // gather/scatter tables.
+      if (s.in_affine) {
+        io.x = src + s.in_aff.base + it * s.in_aff.iter_stride;
+        io.in_stride = s.in_aff.elem_stride;
+      } else {
+        io.x = src;
+        io.in_map = s.in_map.data() + it * cn;
+      }
+      if (s.out_affine) {
+        io.y = dst + s.out_aff.base + it * s.out_aff.iter_stride;
+        io.out_stride = s.out_aff.elem_stride;
+      } else {
+        io.y = dst;
+        io.out_map = s.out_map.data() + it * cn;
+      }
       io.in_scale =
           s.in_scale.empty() ? nullptr : s.in_scale.data() + it * cn;
       io.out_scale =
@@ -55,14 +71,32 @@ void run_chunk(const Stage& s, const cplx* src, cplx* dst, idx_t lo,
     return;
   }
   // Pure data stage (cn == 1).
+  if (s.in_affine && s.out_affine) {
+    const cplx* in = src + s.in_aff.base;
+    cplx* out = dst + s.out_aff.base;
+    const idx_t is = s.in_aff.iter_stride;
+    const idx_t os = s.out_aff.iter_stride;
+    if (s.in_scale.empty()) {
+      if (is == 1 && os == 1) {
+        std::copy(in + lo, in + hi, out + lo);
+      } else {
+        for (idx_t j = lo; j < hi; ++j) out[j * os] = in[j * is];
+      }
+    } else {
+      for (idx_t j = lo; j < hi; ++j) {
+        out[j * os] = s.in_scale[std::size_t(j)] * in[j * is];
+      }
+    }
+    return;
+  }
   if (s.in_scale.empty()) {
     for (idx_t j = lo; j < hi; ++j) {
-      dst[s.out_map[std::size_t(j)]] = src[s.in_map[std::size_t(j)]];
+      dst[s.out_index(j, 0)] = src[s.in_index(j, 0)];
     }
   } else {
     for (idx_t j = lo; j < hi; ++j) {
-      dst[s.out_map[std::size_t(j)]] =
-          s.in_scale[std::size_t(j)] * src[s.in_map[std::size_t(j)]];
+      dst[s.out_index(j, 0)] =
+          s.in_scale[std::size_t(j)] * src[s.in_index(j, 0)];
     }
   }
 }
@@ -82,6 +116,17 @@ void run_task(const Stage& s, const cplx* src, cplx* dst, idx_t task,
   }
 }
 
+/// Runs the stage slice of pool participant `tid` (of `workers`): the
+/// stage's logical tasks are folded onto the available threads when the
+/// pool is smaller than parallel_p.
+void run_participant(const Stage& s, const cplx* src, cplx* dst, int tid,
+                     int workers) {
+  const idx_t tasks = std::max<idx_t>(s.parallel_p, workers);
+  for (idx_t t = tid; t < tasks; t += workers) {
+    run_task(s, src, dst, t, tasks);
+  }
+}
+
 }  // namespace
 
 void Program::run_stage(const Stage& s, const cplx* src, cplx* dst,
@@ -91,15 +136,12 @@ void Program::run_stage(const Stage& s, const cplx* src, cplx* dst,
     run_chunk(s, src, dst, 0, s.iters);
     return;
   }
-  if (policy_ == ExecPolicy::kThreadPool) {
+  if (policy_ == ExecPolicy::kThreadPoolPerStage) {
     util::require(pool != nullptr, "thread-pool policy requires a pool");
     pool->run([&](int task) {
       // When the pool has fewer threads than p, trailing logical tasks
       // are folded onto the existing threads.
-      const idx_t tasks = std::max<idx_t>(p, pool->size());
-      for (idx_t t = task; t < tasks; t += pool->size()) {
-        run_task(s, src, dst, t, tasks);
-      }
+      run_participant(s, src, dst, task, pool->size());
     });
     return;
   }
@@ -115,6 +157,57 @@ void Program::run_stage(const Stage& s, const cplx* src, cplx* dst,
   run_chunk(s, src, dst, 0, s.iters);
 }
 
+void Program::execute_fused(ExecContext& ctx, const cplx* x, cplx* y,
+                            threading::ThreadPool* pool) const {
+  const auto& st = list_.stages;
+  const int workers = pool->size();
+  threading::SpinBarrier& barrier = ctx.stage_barrier_for(workers);
+  const cplx* first_src = x;
+  if (x == y && st.size() == 1) {
+    // Single-stage in-place: stage maps may collide; stage through a copy.
+    std::copy(x, x + list_.n, ctx.buf_[0].begin());
+    first_src = ctx.buf_[0].data();
+  }
+  cplx* const buf0 = ctx.buf_[0].data();
+  cplx* const buf1 = ctx.buf_[1].data();
+  // One fork for the whole program: every participant walks the stage
+  // list with thread-local src/dst ping-pong pointers (the walk is
+  // deterministic, so all workers agree without sharing state) and
+  // crosses the context's spin barrier once per stage transition. The
+  // pool's own dispatch/completion barriers bracket the walk, so the
+  // caller observes full fork/join semantics for the program while each
+  // interior stage boundary costs a single barrier crossing instead of a
+  // fork/join pair.
+  pool->run([&](int tid) {
+    const cplx* src = first_src;
+    int flip = 0;
+    for (std::size_t k = st.size(); k-- > 0;) {
+      const Stage& s = st[k];
+      cplx* dst;
+      if (k == 0) {
+        dst = y;
+      } else {
+        dst = flip ? buf1 : buf0;
+        flip ^= 1;
+      }
+      if (s.parallel_p <= 1) {
+        // Sequential stage inside the parallel region: participant 0
+        // runs it alone; the others go straight to the barrier.
+        if (tid == 0) run_chunk(s, src, dst, 0, s.iters);
+      } else {
+        run_participant(s, src, dst, tid, workers);
+      }
+      // A stage transition needs a barrier only when a worker could read
+      // data another worker wrote: two adjacent participant-0-only stages
+      // hand data to themselves, so the crossing is elided.
+      if (k != 0 && (s.parallel_p > 1 || st[k - 1].parallel_p > 1)) {
+        barrier.wait();
+      }
+      src = dst;
+    }
+  });
+}
+
 void Program::execute(ExecContext& ctx, const cplx* x, cplx* y) const {
   const auto& st = list_.stages;
   util::require(!st.empty(), "empty program");
@@ -123,10 +216,16 @@ void Program::execute(ExecContext& ctx, const cplx* x, cplx* y) const {
   // the context wins, then the program-level borrowed pool (legacy
   // single-caller path), then the context's own persistent team.
   threading::ThreadPool* pool = nullptr;
-  if (policy_ == ExecPolicy::kThreadPool && max_p_ > 1) {
+  const bool pool_policy = policy_ == ExecPolicy::kThreadPool ||
+                           policy_ == ExecPolicy::kThreadPoolPerStage;
+  if (pool_policy && max_p_ > 1) {
     pool = ctx.borrowed_pool_ != nullptr ? ctx.borrowed_pool_
            : pool_ != nullptr            ? pool_
                                          : ctx.pool_for(max_p_);
+  }
+  if (policy_ == ExecPolicy::kThreadPool && pool != nullptr) {
+    execute_fused(ctx, x, y, pool);
+    return;
   }
   const cplx* src = x;
   if (x == y && st.size() == 1) {

@@ -23,8 +23,17 @@ namespace spiral::backend {
 /// How parallel stages are dispatched.
 enum class ExecPolicy {
   kSequential,  ///< ignore parallel annotations, run on the caller
-  kThreadPool,  ///< persistent pthread-style pool (low-latency barriers)
-  kOpenMP,      ///< OpenMP parallel-for (compiled in when available)
+  /// Fused single-fork dispatch on the persistent pool: the whole stage
+  /// list runs inside one ThreadPool::run; workers cross one spin barrier
+  /// per stage transition (the "low-latency minimal overhead
+  /// synchronization" of §3.2). The default parallel policy.
+  kThreadPool,
+  /// Ablation knob: the pre-fused executor — a full pool fork/join (two
+  /// barrier crossings + a std::function dispatch) per stage. Kept so the
+  /// paper's per-stage overhead numbers stay reproducible
+  /// (bench_executor).
+  kThreadPoolPerStage,
+  kOpenMP,  ///< OpenMP parallel-for per stage (compiled in when available)
 };
 
 [[nodiscard]] const char* to_string(ExecPolicy p);
@@ -66,6 +75,11 @@ class Program {
  private:
   void run_stage(const Stage& s, const cplx* src, cplx* dst,
                  threading::ThreadPool* pool) const;
+  /// Fused dispatch: one pool fork for the whole stage list; workers
+  /// synchronize between stages on the context's spin barrier and keep
+  /// the ping-pong buffer pointers thread-local.
+  void execute_fused(ExecContext& ctx, const cplx* x, cplx* y,
+                     threading::ThreadPool* pool) const;
 
   StageList list_;
   ExecPolicy policy_;

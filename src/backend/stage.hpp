@@ -35,6 +35,24 @@ inline std::int32_t checked_index(idx_t v) {
   return static_cast<std::int32_t>(v);
 }
 
+/// Affine (map-free) addressing for one side of a stage:
+///
+///   index(it, l) = base + it * iter_stride + l * elem_stride
+///
+/// When a stage's gather/scatter footprint is a plain stride pattern —
+/// which it is for every loop the lowering emits before permutations get
+/// fused in, and stays for many stages after fusion — materializing an
+/// int32 index table costs ~8 bytes of memory traffic per complex element
+/// for information three integers already encode. compact_affine()
+/// (lower.hpp) detects the pattern and drops the table; the executor,
+/// codelets, verifier, simulator and C emitter all consume the descriptor
+/// directly.
+struct AffineMap {
+  idx_t base = 0;
+  idx_t iter_stride = 0;  ///< stride between consecutive iterations
+  idx_t elem_stride = 0;  ///< stride between a codelet's elements
+};
+
 /// One loop stage:
 ///
 ///   parallel-for (chunked over `parallel_p` threads when > 0)
@@ -60,10 +78,19 @@ struct Stage {
   idx_t sched_block = 0;
 
   /// Absolute input element index for (iteration i, element l), laid out
-  /// as in_map[i*cn + l]. Always materialized (size iters*cn == N).
+  /// as in_map[i*cn + l]; size iters*cn == N. Empty when the side has been
+  /// affine-compacted (in_affine below) — use in_index() to read either
+  /// representation.
   std::vector<std::int32_t> in_map;
-  /// Absolute output element index, same layout. Always materialized.
+  /// Absolute output element index, same layout (empty when out_affine).
   std::vector<std::int32_t> out_map;
+  /// When set, the corresponding map vector is dropped and addressing is
+  /// computed from the affine descriptor. Scales (in_scale/out_scale) stay
+  /// materialized and keep their i*cn + l layout regardless.
+  bool in_affine = false;
+  bool out_affine = false;
+  AffineMap in_aff;
+  AffineMap out_aff;
   /// Optional fused diagonal applied on load (same layout); empty if none.
   util::cvec in_scale;
   /// Optional fused diagonal applied on store; empty if none.
@@ -73,6 +100,25 @@ struct Stage {
   std::string label;
 
   [[nodiscard]] idx_t total_elems() const { return iters * cn; }
+
+  /// Input element index of (iteration it, element l), whichever
+  /// representation the stage carries. Analyses should address stages
+  /// through these accessors so affine-compacted programs verify and
+  /// simulate exactly like materialized ones.
+  [[nodiscard]] idx_t in_index(idx_t it, idx_t l) const {
+    if (in_affine) {
+      return in_aff.base + it * in_aff.iter_stride + l * in_aff.elem_stride;
+    }
+    return in_map[static_cast<std::size_t>(it * cn + l)];
+  }
+  /// Output element index of (iteration it, element l).
+  [[nodiscard]] idx_t out_index(idx_t it, idx_t l) const {
+    if (out_affine) {
+      return out_aff.base + it * out_aff.iter_stride +
+             l * out_aff.elem_stride;
+    }
+    return out_map[static_cast<std::size_t>(it * cn + l)];
+  }
 
   /// Arithmetic cost in real flops (codelets + fused scales).
   [[nodiscard]] double flops() const;

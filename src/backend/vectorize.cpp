@@ -14,16 +14,19 @@ const char* to_string(VecForm f) {
 
 namespace {
 
-/// Checks the lane-structured shape on one map: for every nu-pack of
-/// iterations, lane v reads/writes address(lane 0) + v*lane_stride, with
-/// lane 0 nu-aligned. lane_stride == 1 is the plain A (x) I_nu shape;
-/// lane_stride == nu is the fused in-register-transpose shape.
-bool across_iterations_ok(const std::vector<std::int32_t>& map, idx_t iters,
-                          idx_t cn, idx_t nu, idx_t lane_stride) {
+/// Checks the lane-structured shape on one map (given as a flat accessor
+/// k -> index, so materialized tables and affine-compacted stages share
+/// one implementation): for every nu-pack of iterations, lane v
+/// reads/writes address(lane 0) + v*lane_stride, with lane 0 nu-aligned.
+/// lane_stride == 1 is the plain A (x) I_nu shape; lane_stride == nu is
+/// the fused in-register-transpose shape.
+template <class MapFn>
+bool across_iterations_ok(const MapFn& map, idx_t iters, idx_t cn, idx_t nu,
+                          idx_t lane_stride) {
   if (iters % nu != 0) return false;
   for (idx_t it = 0; it < iters; it += nu) {
     for (idx_t l = 0; l < cn; ++l) {
-      const std::int32_t base = map[std::size_t(it * cn + l)];
+      const idx_t base = map(it * cn + l);
       // lane_stride == 1 (plain A (x) I_nu): the pack itself must be one
       // aligned vector. lane_stride == nu (register-transpose shape): the
       // lanes hit the same offset of nu consecutive aligned vectors —
@@ -31,8 +34,7 @@ bool across_iterations_ok(const std::vector<std::int32_t>& map, idx_t iters,
       // remaining offsets of the nu x nu tile).
       if (lane_stride == 1 && base % nu != 0) return false;
       for (idx_t v = 1; v < nu; ++v) {
-        if (map[std::size_t((it + v) * cn + l)] !=
-            base + static_cast<std::int32_t>(v * lane_stride)) {
+        if (map((it + v) * cn + l) != base + v * lane_stride) {
           return false;
         }
       }
@@ -43,15 +45,15 @@ bool across_iterations_ok(const std::vector<std::int32_t>& map, idx_t iters,
 
 /// Checks the aligned-contiguous-runs shape on one map: each codelet's cn
 /// addresses split into cn/nu runs of nu consecutive aligned elements.
-bool within_codelet_ok(const std::vector<std::int32_t>& map, idx_t iters,
-                       idx_t cn, idx_t nu) {
+template <class MapFn>
+bool within_codelet_ok(const MapFn& map, idx_t iters, idx_t cn, idx_t nu) {
   if (cn % nu != 0) return false;
   for (idx_t it = 0; it < iters; ++it) {
     for (idx_t g = 0; g < cn; g += nu) {
-      const std::int32_t base = map[std::size_t(it * cn + g)];
+      const idx_t base = map(it * cn + g);
       if (base % nu != 0) return false;
       for (idx_t v = 1; v < nu; ++v) {
-        if (map[std::size_t(it * cn + g + v)] != base + v) return false;
+        if (map(it * cn + g + v) != base + v) return false;
       }
     }
   }
@@ -62,9 +64,12 @@ bool within_codelet_ok(const std::vector<std::int32_t>& map, idx_t iters,
 
 VecInfo stage_vector_info(const Stage& s, idx_t max_nu) {
   util::require(util::is_pow2(max_nu), "vector width must be a 2-power");
+  const auto in_at = [&s](idx_t k) { return s.in_index(k / s.cn, k % s.cn); };
+  const auto out_at = [&s](idx_t k) {
+    return s.out_index(k / s.cn, k % s.cn);
+  };
   for (idx_t nu = max_nu; nu >= 2; nu /= 2) {
-    auto one_map_ok = [&](const std::vector<std::int32_t>& map,
-                          VecForm* form) {
+    auto one_map_ok = [&](const auto& map, VecForm* form) {
       if (across_iterations_ok(map, s.iters, s.cn, nu, 1)) {
         *form = VecForm::kAcrossIterations;
         return true;
@@ -80,7 +85,7 @@ VecInfo stage_vector_info(const Stage& s, idx_t max_nu) {
       return false;
     };
     VecForm fin = VecForm::kNone, fout = VecForm::kNone;
-    if (one_map_ok(s.in_map, &fin) && one_map_ok(s.out_map, &fout)) {
+    if (one_map_ok(in_at, &fin) && one_map_ok(out_at, &fout)) {
       // Report the "weakest" of the two forms (shuffles dominate cost).
       VecForm form = fin;
       if (fout == VecForm::kStridedLanes || fin == VecForm::kStridedLanes) {

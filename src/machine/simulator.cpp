@@ -197,8 +197,7 @@ SimResult Simulator::run(const backend::StageList& program) {
         const std::size_t base = static_cast<std::size_t>(it * cn);
         for (idx_t l = 0; l < cn; ++l) {
           const std::int64_t in_addr =
-              src_base + std::int64_t(s.in_map[base + std::size_t(l)]) *
-                             kElemBytes;
+              src_base + std::int64_t(s.in_index(it, l)) * kElemBytes;
           touch(c, in_addr / cfg_.line_bytes, /*write=*/false, stage_id,
                 cost, ss, out);
           if (!s.in_scale.empty()) {
@@ -210,8 +209,7 @@ SimResult Simulator::run(const backend::StageList& program) {
         }
         for (idx_t l = 0; l < cn; ++l) {
           const std::int64_t out_addr =
-              dst_base + std::int64_t(s.out_map[base + std::size_t(l)]) *
-                             kElemBytes;
+              dst_base + std::int64_t(s.out_index(it, l)) * kElemBytes;
           touch(c, out_addr / cfg_.line_bytes, /*write=*/true, stage_id,
                 cost, ss, out);
         }

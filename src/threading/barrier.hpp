@@ -12,11 +12,31 @@
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <new>
 #include <thread>
 
 #include "util/common.hpp"
 
 namespace spiral::threading {
+
+/// Cache-line size used to pad the barrier's hot atomics apart
+/// (std::hardware_destructive_interference_size when the library reports
+/// it, the common 64 bytes otherwise).
+#if defined(__cpp_lib_hardware_interference_size)
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC warns that this constant may vary across -mtune flags; the padding
+// below only needs a safe upper bound, so the warning is noise here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+#endif
+inline constexpr std::size_t kDestructiveInterferenceSize =
+    std::hardware_destructive_interference_size;
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#else
+inline constexpr std::size_t kDestructiveInterferenceSize = 64;
+#endif
 
 /// Sense-reversing centralized spin barrier for a fixed set of
 /// participants. wait() spins (with a CPU relax hint), falling back to
@@ -49,8 +69,14 @@ class SpinBarrier {
  private:
   static constexpr int kSpinLimit = 1 << 12;
   const int participants_;
-  std::atomic<int> remaining_;
-  std::atomic<bool> sense_{false};
+  // remaining_ is hammered with fetch_sub by every arriving thread while
+  // sense_ is spun on by every waiting thread; on one cache line each
+  // arrival would invalidate every spinner's line (the very false-sharing
+  // effect this paper's Definition 1 bans from generated code — ironic
+  // that the first revision of this barrier had the bug itself). Keep
+  // them a destructive-interference span apart.
+  alignas(kDestructiveInterferenceSize) std::atomic<int> remaining_;
+  alignas(kDestructiveInterferenceSize) std::atomic<bool> sense_{false};
 };
 
 /// Classical mutex/condition-variable barrier (the "portable library"

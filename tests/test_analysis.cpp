@@ -49,6 +49,32 @@ int first_parallel_stage(const StageList& list) {
   return -1;
 }
 
+/// Re-materializes the index tables of an affine-compacted stage so the
+/// negative tests can corrupt individual entries again.
+void materialize(Stage& s) {
+  const auto esz = static_cast<std::size_t>(s.iters * s.cn);
+  if (s.in_affine) {
+    s.in_map.resize(esz);
+    for (idx_t it = 0; it < s.iters; ++it) {
+      for (idx_t l = 0; l < s.cn; ++l) {
+        s.in_map[static_cast<std::size_t>(it * s.cn + l)] =
+            static_cast<std::int32_t>(s.in_index(it, l));
+      }
+    }
+    s.in_affine = false;
+  }
+  if (s.out_affine) {
+    s.out_map.resize(esz);
+    for (idx_t it = 0; it < s.iters; ++it) {
+      for (idx_t l = 0; l < s.cn; ++l) {
+        s.out_map[static_cast<std::size_t>(it * s.cn + l)] =
+            static_cast<std::int32_t>(s.out_index(it, l));
+      }
+    }
+    s.out_affine = false;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Positive path: everything the planner produces verifies clean.
 
@@ -126,6 +152,7 @@ TEST(AnalysisNegative, OutMapSwapAcrossThreads) {
   const int si = first_parallel_stage(list);
   ASSERT_GE(si, 0);
   Stage& s = list.stages[static_cast<std::size_t>(si)];
+  materialize(s);
   // Swap one write target of thread 0 with one of the last thread: both
   // threads now write into a cache line owned by the other — the
   // line-granular race (false sharing) of a corrupted schedule/map.
@@ -141,6 +168,7 @@ TEST(AnalysisNegative, OutMapDuplicateIsWriteWriteRace) {
   const int si = first_parallel_stage(list);
   ASSERT_GE(si, 0);
   Stage& s = list.stages[static_cast<std::size_t>(si)];
+  materialize(s);
   // Two threads now write the same element; the overwritten target is
   // never written at all.
   s.out_map[0] = s.out_map[s.out_map.size() - 1];
@@ -155,6 +183,7 @@ TEST(AnalysisNegative, DuplicateWithinOneThreadIsDuplicateWrite) {
   const int si = first_parallel_stage(list);
   ASSERT_GE(si, 0);
   Stage& s = list.stages[static_cast<std::size_t>(si)];
+  materialize(s);
   // Both entries live in iteration 0 -> same thread: not a race, but
   // out_map is no longer injective.
   ASSERT_GE(s.cn, 2);
@@ -181,6 +210,7 @@ TEST(AnalysisNegative, TruncatedScaleVector) {
 TEST(AnalysisNegative, OutOfBoundsIndices) {
   StageList list = planner_program(1 << 10, 2);
   Stage& s = list.stages.front();
+  materialize(s);
   s.in_map[3] = -1;
   s.out_map[5] = static_cast<std::int32_t>(list.n + 7);
   const Report rep = analysis::verify(list);
@@ -190,9 +220,54 @@ TEST(AnalysisNegative, OutOfBoundsIndices) {
 
 TEST(AnalysisNegative, MapSizeMismatch) {
   StageList list = planner_program(1 << 10, 2);
+  materialize(list.stages.front());
   list.stages.front().in_map.pop_back();
   const Report rep = analysis::verify(list);
   EXPECT_TRUE(has_kind(rep, Diag::kMapSizeMismatch)) << rep.to_string();
+}
+
+TEST(AnalysisNegative, AffineOutOfBounds) {
+  // Hand-built affine-compacted copy stage whose output stride walks past
+  // the end of the buffer: the verifier must evaluate the affine
+  // expressions, not just the (absent) tables.
+  StageList list;
+  list.n = 16;
+  Stage s;
+  s.label = "affine-oob";
+  s.iters = 16;
+  s.cn = 1;
+  s.parallel_p = 1;
+  s.in_affine = true;
+  s.in_aff = {0, 1, 0};
+  s.out_affine = true;
+  s.out_aff = {0, 2, 0};  // writes 0,2,..,30: top half out of bounds
+  list.stages.push_back(s);
+  const Report rep = analysis::verify(list);
+  EXPECT_TRUE(has_kind(rep, Diag::kIndexOutOfBounds)) << rep.to_string();
+  EXPECT_TRUE(has_kind(rep, Diag::kLostElement)) << rep.to_string();
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(AnalysisNegative, AffineWriteWriteRace) {
+  // Affine output with iter_stride 0 in a parallel stage: every thread
+  // scatters onto the same elements.
+  StageList list;
+  list.n = 16;
+  Stage s;
+  s.label = "affine-race";
+  s.iters = 4;
+  s.cn = 4;
+  s.is_compute = true;
+  s.parallel_p = 4;
+  s.in_affine = true;
+  s.in_aff = {0, 4, 1};
+  s.out_affine = true;
+  s.out_aff = {0, 0, 1};  // all iterations write elements [0, 4)
+  list.stages.push_back(s);
+  const Report rep = analysis::verify(list);
+  EXPECT_TRUE(has_kind(rep, Diag::kRaceWriteWrite)) << rep.to_string();
+  EXPECT_TRUE(has_kind(rep, Diag::kLostElement)) << rep.to_string();
+  EXPECT_FALSE(rep.ok());
 }
 
 TEST(AnalysisNegative, DegenerateScheduleIsLoadImbalance) {

@@ -149,6 +149,109 @@ TEST(Program, DistinctContextsShareOneProgram) {
   EXPECT_LT(max_diff(ya, ref), fft_tolerance(n));
 }
 
+TEST(Program, PerStagePolicyMatchesFused) {
+  // The ablation knob: per-stage fork/join dispatch must agree exactly
+  // with the fused single-fork dispatch and the sequential path.
+  const idx_t n = 1024;
+  auto list = multicore_program(n, 4, 2);
+  util::Rng rng(21);
+  const auto x = rng.complex_signal(n);
+  util::cvec y_seq(x.size()), y_fused(x.size()), y_staged(x.size());
+  Program(list, ExecPolicy::kSequential).execute(x.data(), y_seq.data());
+  threading::ThreadPool pool(4);
+  Program fused(list, ExecPolicy::kThreadPool, &pool);
+  fused.execute(x.data(), y_fused.data());
+  Program staged(list, ExecPolicy::kThreadPoolPerStage, &pool);
+  staged.execute(x.data(), y_staged.data());
+  EXPECT_LT(max_diff(y_fused, y_seq), 1e-14) << "fused != sequential";
+  EXPECT_LT(max_diff(y_staged, y_seq), 1e-14) << "per-stage != sequential";
+}
+
+TEST(Program, FusedInPlaceMultiStage) {
+  // x == y through the fused single-fork path: the first stage moves the
+  // data into a scratch buffer, so writing y == x at the end is safe.
+  const idx_t n = 1024;
+  auto list = multicore_program(n, 4, 2);
+  util::Rng rng(22);
+  auto x = rng.complex_signal(n);
+  const auto ref = reference_dft(x);
+  threading::ThreadPool pool(4);
+  Program prog(list, ExecPolicy::kThreadPool, &pool);
+  prog.execute(x.data(), x.data());
+  EXPECT_LT(max_diff(x, ref), fft_tolerance(n));
+}
+
+TEST(Program, FusedInPlaceSingleParallelStage) {
+  // Single-stage in-place through the fused path: the executor must
+  // stage the input through a scratch copy before the team scatters.
+  auto list = lower_fused(spl::L(64, 8));
+  ASSERT_EQ(list.stages.size(), 1u);
+  for (auto& s : list.stages) s.parallel_p = 4;  // pure copy: safe to split
+  util::Rng rng(23);
+  auto x = rng.complex_signal(64);
+  const auto ref = spl::to_dense(spl::L(64, 8)).apply(x);
+  threading::ThreadPool pool(4);
+  Program prog(list, ExecPolicy::kThreadPool, &pool);
+  prog.execute(x.data(), x.data());
+  EXPECT_LT(max_diff(x, ref), 1e-15);
+}
+
+TEST(Program, FusedSkipsBarriersBetweenSequentialStages) {
+  // Demote every stage but the last-executed one to sequential:
+  // participant 0 runs the sequential prefix alone while the others fall
+  // through (interior barriers elided for sequential-sequential
+  // transitions), then everyone synchronizes once for the final parallel
+  // stage — results must be untouched.
+  const idx_t n = 256;
+  // The unfused lowering keeps the permutation stages explicit, so the
+  // program has enough stages to contain sequential-sequential runs.
+  auto f = rewrite::expand_dfts_balanced(
+      rewrite::derive_multicore_ct(n, 16, 2, 2));
+  auto list = lower(f);
+  ASSERT_GE(list.stages.size(), 3u);
+  for (std::size_t i = 1; i < list.stages.size(); ++i) {
+    list.stages[i].parallel_p = 1;
+  }
+  // Bijective out_map: splitting the final stage across 2 tasks is safe.
+  list.stages.front().parallel_p = 2;
+  util::Rng rng(24);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  threading::ThreadPool pool(2);
+  Program prog(list, ExecPolicy::kThreadPool, &pool);
+  prog.execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n));
+}
+
+TEST(Program, PerStagePolicyOnSmallerPool) {
+  // Task folding under the ablation policy too: a p=4 plan on 2 threads.
+  const idx_t n = 1024;
+  auto list = multicore_program(n, 4, 2);
+  util::Rng rng(25);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  threading::ThreadPool pool(2);
+  Program prog(list, ExecPolicy::kThreadPoolPerStage, &pool);
+  prog.execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n));
+}
+
+TEST(Program, SequentialPolicyMatchesDenseSemantics) {
+  // kSequential equivalence against the dense SPL semantics of the exact
+  // lowered formula (not just the DFT reference): catches lowering bugs
+  // the reference-DFT comparison would mask with a compensating error.
+  const idx_t n = 64;
+  auto f = rewrite::expand_dfts_balanced(
+      rewrite::derive_multicore_ct(n, 8, 2, 2));
+  auto list = lower_fused(f);
+  util::Rng rng(26);
+  const auto x = rng.complex_signal(n);
+  const auto ref = spl::to_dense(f).apply(x);
+  util::cvec y(x.size());
+  Program(list, ExecPolicy::kSequential).execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, ref), fft_tolerance(n));
+}
+
 TEST(Program, LinearityProperty) {
   // DFT(a*x + y) == a*DFT(x) + DFT(y): a property check on the whole
   // pipeline (plan reuse across inputs).

@@ -39,6 +39,17 @@ TEST(Barrier, SpinBarrierSynchronizesPhases) {
   EXPECT_EQ(std::accumulate(observed.begin(), observed.end(), 0), kThreads);
 }
 
+TEST(Barrier, SpinBarrierHotAtomicsArePadded) {
+  // remaining_ (hammered by fetch_sub on arrival) and sense_ (spun on by
+  // every waiter) must live on different cache lines, else every arrival
+  // invalidates every spinner — false sharing inside the very primitive
+  // that exists to make synchronization cheap. The alignas padding makes
+  // the object span at least two destructive-interference blocks.
+  EXPECT_GE(sizeof(SpinBarrier), 2 * kDestructiveInterferenceSize);
+  EXPECT_GE(alignof(SpinBarrier), kDestructiveInterferenceSize);
+  EXPECT_GE(kDestructiveInterferenceSize, 64u);
+}
+
 TEST(Barrier, CondVarBarrierSynchronizesPhases) {
   constexpr int kThreads = 3;
   constexpr int kPhases = 20;

@@ -38,6 +38,7 @@
 
 #include "analysis/rule_audit.hpp"
 #include "analysis/verify.hpp"
+#include "backend/lower.hpp"
 #include "core/spiral_fft.hpp"
 #include "machine/config.hpp"
 #include "util/cli.hpp"
@@ -61,6 +62,8 @@ void usage() {
                "flags: --machine=NAME --mu=MU --imbalance=X --quiet\n"
                "       --no-coverage --no-races --no-false-sharing"
                " --no-load-balance\n"
+               "       --mutate-affine[=D]  skew affine strides by D"
+               " (mutation-testing the verifier)\n"
                "exit:  0 clean, 1 findings, 2 usage/corrupt input\n");
 }
 
@@ -151,6 +154,15 @@ int run(const spiral::util::CliArgs& args) {
   // plan-time hook off, else a debug build throws before we can report.
   core::PlannerOptions base;
   base.verify_lowering = false;
+
+  if (args.has("mutate-affine")) {
+    // Mutation-testing mode: skew the stride of every affine-compacted
+    // output side during lowering. The verifier must flag the resulting
+    // programs (bounds/coverage/races) — CI gates on this exiting nonzero
+    // to prove the affine checks are live, not vacuously green.
+    backend::set_affine_stride_mutation(
+        static_cast<std::int32_t>(args.get_int("mutate-affine", 1)));
+  }
 
   std::vector<LintItem> items;
 
