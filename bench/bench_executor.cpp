@@ -21,6 +21,7 @@
 
 #include "bench_common.hpp"
 #include "core/spiral_fft.hpp"
+#include "jit/jit.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -37,17 +38,27 @@ struct Row {
   double seconds;
 };
 
-/// Wall-clock seconds per transform for one (policy, p, n) point.
-double measure(backend::ExecPolicy policy, int p, idx_t n) {
+/// Wall-clock seconds per transform for one (policy, p, n) point. With
+/// `jit` the plan's executor is the natively compiled program (the
+/// paper's deployment model); the row is skipped (returns < 0) when the
+/// compile fails, so the bench degrades instead of lying.
+double measure(backend::ExecPolicy policy, int p, idx_t n, bool jit = false) {
   core::PlannerOptions opt;
   opt.threads = p;
   opt.policy = policy;
   opt.verify_lowering = false;
+  opt.jit = jit;
   auto plan = core::plan_dft(n, opt);
+  if (jit && !plan->jit_report().ok()) return -1.0;
   util::Rng rng(n);
   const auto x = rng.complex_signal(n);
   util::cvec y(x.size());
   backend::ExecContext ctx;
+  if (jit) {
+    // Cross the first-execution parity gate outside the timed region.
+    plan->execute(ctx, x.data(), y.data());
+    if (!plan->jit_active()) return -1.0;
+  }
   // Min-of-5 with a 20 ms floor: on an oversubscribed host the scheduler
   // adds heavy-tailed noise, and the minimum is the defensible statistic.
   return util::time_min_seconds(
@@ -64,6 +75,7 @@ int main(int argc, char** argv) {
   struct Policy {
     backend::ExecPolicy policy;
     const char* name;
+    bool jit = false;
   };
   std::vector<Policy> policies = {
       {backend::ExecPolicy::kThreadPool, "fused"},
@@ -71,6 +83,14 @@ int main(int argc, char** argv) {
   };
   if (backend::openmp_available()) {
     policies.push_back({backend::ExecPolicy::kOpenMP, "openmp"});
+  }
+  // Interpreter-vs-JIT: the natively compiled executor against the fused
+  // interpreter it replaces, on identical plans.
+  if (!jit::resolve_compiler().empty()) {
+    policies.push_back({backend::ExecPolicy::kThreadPool, "jit", true});
+  } else {
+    std::fprintf(stderr,
+                 "bench_executor: no C compiler found; skipping jit rows\n");
   }
 
   std::printf("# Executor dispatch ablation: wall-clock on this host\n");
@@ -86,7 +106,12 @@ int main(int argc, char** argv) {
         r.p = p;
         r.k = k;
         r.n = n;
-        r.seconds = measure(pol.policy, p, n);
+        r.seconds = measure(pol.policy, p, n, pol.jit);
+        if (r.seconds < 0.0) {
+          std::fprintf(stderr, "# %s p=%d n=%lld: jit unavailable, skipped\n",
+                       r.policy.c_str(), p, static_cast<long long>(n));
+          continue;
+        }
         std::printf("%s,%d,%d,%lld,%.3e,%.1f\n", r.policy.c_str(), r.p, r.k,
                     static_cast<long long>(r.n), r.seconds,
                     util::pseudo_mflops(r.n, r.seconds));
@@ -119,6 +144,28 @@ int main(int argc, char** argv) {
       std::printf("%d,%d,%lld,%.2f\n", r.p, r.k,
                   static_cast<long long>(r.n), speedup);
       json.field("speedup_vs_per_stage", speedup);
+    }
+    const Row* interp = find("fused", r.p, r.k);
+    if (r.policy == "jit" && interp != nullptr) {
+      json.field("speedup_vs_interpreter", interp->seconds / r.seconds);
+    }
+  }
+
+  // Headline for the JIT: native code against the fused interpreter.
+  {
+    bool header = false;
+    for (const auto& r : rows) {
+      if (r.policy != "jit") continue;
+      const Row* interp = find("fused", r.p, r.k);
+      if (interp == nullptr) continue;
+      if (!header) {
+        std::printf("\n# jit speedup over fused interpreter"
+                    " (>1 = native faster)\n");
+        std::printf("p,log2n,n,speedup\n");
+        header = true;
+      }
+      std::printf("%d,%d,%lld,%.2f\n", r.p, r.k, static_cast<long long>(r.n),
+                  interp->seconds / r.seconds);
     }
   }
 

@@ -1,0 +1,69 @@
+// JIT quick-start: plan with PlannerOptions::jit, execute native code.
+//
+//   $ ./jit_demo [--n=4096] [--threads=2]
+//               [--require-jit] [--require-cache-hit]
+//
+// The first run emits the winning program as C, invokes the system
+// compiler and installs the compiled routine as the plan's executor; a
+// second run of the same binary finds the shared object in the on-disk
+// cache and never launches the compiler. CI runs this twice with a fresh
+// SPIRAL_JIT_CACHE_DIR and asserts exactly that with the two flags:
+// --require-jit fails the process unless the native executor is active,
+// --require-cache-hit additionally fails it if the compiler was invoked.
+#include <cstdio>
+
+#include "core/spiral_fft.hpp"
+#include "jit/jit.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spiral;
+  util::CliArgs args(argc, argv);
+  const idx_t n = args.get_int("n", 1 << 12);
+  const int threads = static_cast<int>(args.get_int("threads", 2));
+
+  // 1. Plan with JIT enabled. Everything else is the normal planner
+  //    flow; on any compile/cache/load failure the plan silently keeps
+  //    the fused interpreter and jit_report() says why.
+  core::PlannerOptions opt;
+  opt.threads = threads;
+  opt.jit = true;
+  auto plan = core::plan_dft(n, opt);
+
+  const jit::Report& rep = plan->jit_report();
+  std::printf("== jit report ==\n%s\n", rep.to_string().c_str());
+
+  // 2. Execute: the first call crosses the parity gate (native output
+  //    checked against the interpreter), later calls are pure native.
+  util::Rng rng;
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  const double secs = util::time_min_seconds(
+      [&] { plan->execute(x.data(), y.data()); }, 3, 1e-2);
+  std::printf("executor: %s\n", plan->jit_active() ? "jit" : "interpreter");
+  std::printf("runtime: %.1f us  (%.1f pseudo Mflop/s)\n", secs * 1e6,
+              util::pseudo_mflops(n, secs));
+
+  const jit::Stats st = jit::stats();
+  std::printf("stats: compiles=%llu cache_hits=%llu loads=%llu\n",
+              static_cast<unsigned long long>(st.compiles),
+              static_cast<unsigned long long>(st.cache_hits),
+              static_cast<unsigned long long>(st.loads));
+
+  if (args.has("require-jit") && !plan->jit_active()) {
+    std::fprintf(stderr, "jit_demo: native executor not active: %s\n",
+                 rep.to_string().c_str());
+    return 1;
+  }
+  if (args.has("require-cache-hit") && (!rep.cache_hit || st.compiles != 0)) {
+    std::fprintf(stderr,
+                 "jit_demo: expected a cache hit without compiling "
+                 "(cache_hit=%d compiles=%llu)\n",
+                 rep.cache_hit ? 1 : 0,
+                 static_cast<unsigned long long>(st.compiles));
+    return 1;
+  }
+  return 0;
+}

@@ -252,7 +252,8 @@ std::string RuleAuditReport::to_string() const {
        << f.message << "\n";
   }
   os << "  rules audited: " << instantiations.size()
-     << ", steps checked: " << steps_checked << "\n";
+     << ", steps checked: " << steps_checked
+     << ", large-size spot-checks: " << spot_checks << "\n";
   os << "  instantiations:";
   for (const auto& [name, n] : instantiations) {
     os << " " << name << "=" << n;
@@ -479,6 +480,11 @@ void run_corpus_case(const CorpusCase& cc, const RuleAuditOptions& opt,
   FormulaPtr cur = cc.start;
   FormulaMeasure cur_m = formula_measure(cur);
   const bool dense_steps = cc.start->size <= opt.max_e2e_dense_n;
+  // Above the exhaustive-check ceiling, snapshot every intermediate state
+  // (cheap: shared pointers) and dense-verify a random sample afterwards.
+  const bool spot_dense = !dense_steps && opt.spot_check_steps > 0 &&
+                          cc.start->size <= opt.max_spot_dense_n;
+  std::vector<FormulaPtr> spot_states;
   spl::DenseMatrix cur_d;
   if (dense_steps) cur_d = spl::to_dense(cur);
   std::set<std::string> measure_blamed;
@@ -510,8 +516,38 @@ void run_corpus_case(const CorpusCase& cc, const RuleAuditOptions& opt,
       }
       cur_d = std::move(next_d);
     }
+    if (spot_dense) spot_states.push_back(next);
     cur = next;
     cur_m = next_m;
+  }
+  if (spot_dense && !spot_states.empty()) {
+    // Seed the sample from the derivation label so reruns pick the same
+    // steps and distinct derivations pick different ones.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char ch : cc.label) {
+      h = (h ^ static_cast<unsigned char>(ch)) * 0x100000001b3ull;
+    }
+    util::Rng rng(opt.seed ^ h);
+    const spl::DenseMatrix start_d = spl::to_dense(cc.start);
+    std::set<std::size_t> picked;
+    const std::size_t want = std::min<std::size_t>(
+        static_cast<std::size_t>(opt.spot_check_steps), spot_states.size());
+    while (picked.size() < want) {
+      picked.insert(static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<idx_t>(spot_states.size()) - 1)));
+    }
+    for (const std::size_t i : picked) {
+      const spl::DenseMatrix state_d = spl::to_dense(spot_states[i]);
+      const double diff = start_d.max_abs_diff(state_d);
+      ++rep->spot_checks;
+      if (diff > opt.tolerance) {
+        add_finding(rep, RuleDiag::kSemanticMismatch, "<corpus>",
+                    cc.label + " spot-check at step " + std::to_string(i) +
+                        "/" + std::to_string(spot_states.size()) +
+                        ": dense semantics drifted from the start formula "
+                        "(max diff " + std::to_string(diff) + ")");
+      }
+    }
   }
   for (const auto& [name, n] : trace.fire_counts) {
     rep->fire_counts[name] += n;

@@ -150,6 +150,16 @@ struct RuleAuditOptions {
   /// Largest size whose *every rewrite step* is dense-checked end to end
   /// in the e2e / fuzz corpus (each step is O(n^3)).
   idx_t max_e2e_dense_n = 64;
+  /// Derivations above max_e2e_dense_n are not step-checked exhaustively;
+  /// instead this many *randomly sampled* intermediate states (seeded,
+  /// per-derivation) are dense-compared against the start formula, so
+  /// semantic drift in the large-size regime — where breakdown and
+  /// parallelization rules take paths the small grid never exercises —
+  /// still gets caught. 0 disables spot-checking.
+  int spot_check_steps = 2;
+  /// Largest size the spot-checks will materialize densely (each sampled
+  /// state costs one to_dense of the full transform).
+  idx_t max_spot_dense_n = 256;
   /// Step budget per fixpoint rewrite before kNonTermination.
   int max_steps = 20000;
   /// Max |a_ij - b_ij| tolerated between lhs and rhs dense matrices.
@@ -164,6 +174,9 @@ struct RuleAuditReport {
   std::map<std::string, std::int64_t> fire_counts;
   /// Rewrite steps audited in total (grid firings + corpus steps).
   std::int64_t steps_checked = 0;
+  /// Sampled intermediate states dense-verified in derivations too large
+  /// for exhaustive per-step checking (see spot_check_steps).
+  std::int64_t spot_checks = 0;
 
   [[nodiscard]] bool clean() const { return findings.empty(); }
   /// No error-severity findings (warnings/notes tolerated).

@@ -16,11 +16,22 @@
 // and run it (tests/test_codegen_c.cpp).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "backend/stage.hpp"
 
 namespace spiral::backend {
+
+/// Version of the C emission scheme. It is part of the JIT disk-cache key:
+/// any change to the shape of the generated code (ABI fields, loop
+/// structure, table layout, emission bug fixes) must bump this so stale
+/// cached objects can never be loaded by a newer library.
+inline constexpr int kCodegenVersion = 3;
+
+/// ABI version of the `spiral_jit_program` descriptor emitted when
+/// CodegenOptions::jit_abi is set (see SpiralJitProgramV1 in src/jit/).
+inline constexpr int kJitAbiVersion = 1;
 
 enum class CodegenThreading {
   kNone,     ///< sequential C
@@ -37,6 +48,19 @@ struct CodegenOptions {
   std::string function_name = "spiral_dft";
   CodegenThreading threading = CodegenThreading::kNone;
   bool emit_main = false;  ///< self-testing main() with exit code 0/1
+  /// Emit the hardened Spiral JIT ABI around the program (DESIGN.md §5e):
+  ///   * the entry point takes caller-provided ping-pong scratch
+  ///     (const double* x, double* y, double* b0, double* b1) instead of
+  ///     static buffers, so distinct ExecContexts never share state;
+  ///   * a <name>_shutdown() hook stops and joins the persistent worker
+  ///     pool, making the shared object safe to dlclose;
+  ///   * an exported `spiral_jit_program` descriptor struct carries
+  ///     {abi version, n, threads, fingerprint, exec, shutdown} so the
+  ///     loader can validate a cached object before trusting it.
+  bool jit_abi = false;
+  /// Program fingerprint recorded in the ABI descriptor (jit_abi only);
+  /// the loader rejects objects whose fingerprint disagrees with the plan.
+  std::uint64_t fingerprint = 0;
 };
 
 /// Renders the stage list as a complete C source file.

@@ -402,6 +402,18 @@ std::int32_t affine_stride_mutation() noexcept {
   return g_affine_stride_mutation.load(std::memory_order_acquire);
 }
 
+namespace {
+std::atomic<bool> g_twiddle_mutation{false};
+}  // namespace
+
+void set_twiddle_mutation(bool enabled) noexcept {
+  g_twiddle_mutation.store(enabled, std::memory_order_release);
+}
+
+bool twiddle_mutation() noexcept {
+  return g_twiddle_mutation.load(std::memory_order_acquire);
+}
+
 int compact_affine(StageList& list) {
   const std::int32_t mutate = affine_stride_mutation();
   int dropped = 0;
@@ -478,6 +490,14 @@ StageList lower_fused(const FormulaPtr& f) {
   // Fusion scrambles maps where it merges permutations; whatever stayed a
   // plain stride pattern now sheds its index tables for good.
   compact_affine(list);
+  if (twiddle_mutation()) {
+    // Seeded defect (see set_twiddle_mutation): wrong twiddle tables with
+    // perfectly intact structure.
+    for (auto& s : list.stages) {
+      for (auto& w : s.in_scale) w = std::conj(w);
+      for (auto& w : s.out_scale) w = std::conj(w);
+    }
+  }
   if (auto* obs = lowering_observer()) obs(list);
   return list;
 }

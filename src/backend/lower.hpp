@@ -50,6 +50,16 @@ int compact_affine(StageList& list);
 void set_affine_stride_mutation(std::int32_t delta) noexcept;
 [[nodiscard]] std::int32_t affine_stride_mutation() noexcept;
 
+/// Mutation-testing hook (spiral-lint --mutate-twiddle): when enabled,
+/// lower_fused() conjugates every fused scale entry (the twiddle
+/// diagonals of rule (3)/(6)), producing a program that is structurally
+/// flawless — same footprints, same schedules — but numerically wrong on
+/// any size with twiddle factors. The static verifier cannot see values,
+/// so the lint execution-parity check must be what catches it. Never
+/// enable outside mutation tests.
+void set_twiddle_mutation(bool enabled) noexcept;
+[[nodiscard]] bool twiddle_mutation() noexcept;
+
 /// Diagnostic hook: when set, invoked with every StageList produced by
 /// lower() and lower_fused() (the fused list is observed as well). The
 /// test suite registers the static verifier here (tests/test_helpers.hpp)

@@ -12,9 +12,20 @@ const char* to_string(ExecPolicy p) {
     case ExecPolicy::kThreadPool: return "pthreads";
     case ExecPolicy::kThreadPoolPerStage: return "pthreads-per-stage";
     case ExecPolicy::kOpenMP: return "openmp";
+    case ExecPolicy::kJit: return "jit";
   }
   return "?";
 }
+
+namespace {
+// spiral-lint --mutate-pingpong: reverse the stage application order.
+bool g_pingpong_mutation = false;
+}  // namespace
+
+void set_pingpong_mutation(bool enabled) noexcept {
+  g_pingpong_mutation = enabled;
+}
+bool pingpong_mutation() noexcept { return g_pingpong_mutation; }
 
 bool openmp_available() {
 #ifdef _OPENMP
@@ -182,7 +193,7 @@ void Program::execute_fused(ExecContext& ctx, const cplx* x, cplx* y,
     const cplx* src = first_src;
     int flip = 0;
     for (std::size_t k = st.size(); k-- > 0;) {
-      const Stage& s = st[k];
+      const Stage& s = st[g_pingpong_mutation ? st.size() - 1 - k : k];
       cplx* dst;
       if (k == 0) {
         dst = y;
@@ -199,8 +210,10 @@ void Program::execute_fused(ExecContext& ctx, const cplx* x, cplx* y,
       }
       // A stage transition needs a barrier only when a worker could read
       // data another worker wrote: two adjacent participant-0-only stages
-      // hand data to themselves, so the crossing is elided.
-      if (k != 0 && (s.parallel_p > 1 || st[k - 1].parallel_p > 1)) {
+      // hand data to themselves, so the crossing is elided. (Under the
+      // ping-pong mutation the walk order is scrambled, so always cross.)
+      if (k != 0 && (g_pingpong_mutation || s.parallel_p > 1 ||
+                     st[k - 1].parallel_p > 1)) {
         barrier.wait();
       }
       src = dst;
@@ -209,6 +222,16 @@ void Program::execute_fused(ExecContext& ctx, const cplx* x, cplx* y,
 }
 
 void Program::execute(ExecContext& ctx, const cplx* x, cplx* y) const {
+  util::require(!list_.stages.empty(), "empty program");
+  if (policy_ == ExecPolicy::kJit && jit_fn_ &&
+      jit_state_.load(std::memory_order_acquire) != kJitDemoted) {
+    execute_jit(ctx, x, y);
+    return;
+  }
+  execute_interp(ctx, x, y);
+}
+
+void Program::execute_interp(ExecContext& ctx, const cplx* x, cplx* y) const {
   const auto& st = list_.stages;
   util::require(!st.empty(), "empty program");
   ctx.ensure_buffers(list_.n, st.size() > 1);
@@ -216,14 +239,18 @@ void Program::execute(ExecContext& ctx, const cplx* x, cplx* y) const {
   // the context wins, then the program-level borrowed pool (legacy
   // single-caller path), then the context's own persistent team.
   threading::ThreadPool* pool = nullptr;
+  // kJit programs fall back to the fused-pool interpreter (before a
+  // native executor is installed, or after a parity demotion).
   const bool pool_policy = policy_ == ExecPolicy::kThreadPool ||
-                           policy_ == ExecPolicy::kThreadPoolPerStage;
+                           policy_ == ExecPolicy::kThreadPoolPerStage ||
+                           policy_ == ExecPolicy::kJit;
   if (pool_policy && max_p_ > 1) {
     pool = ctx.borrowed_pool_ != nullptr ? ctx.borrowed_pool_
            : pool_ != nullptr            ? pool_
                                          : ctx.pool_for(max_p_);
   }
-  if (policy_ == ExecPolicy::kThreadPool && pool != nullptr) {
+  if ((policy_ == ExecPolicy::kThreadPool || policy_ == ExecPolicy::kJit) &&
+      pool != nullptr) {
     execute_fused(ctx, x, y, pool);
     return;
   }
@@ -246,9 +273,79 @@ void Program::execute(ExecContext& ctx, const cplx* x, cplx* y) const {
       dst = ctx.buf_[flip].data();
       flip ^= 1;
     }
-    run_stage(st[k], src, dst, pool);
+    run_stage(st[g_pingpong_mutation ? st.size() - 1 - k : k], src, dst, pool);
     src = dst;
   }
+}
+
+void Program::install_jit(JitFn fn, bool verify_first) {
+  jit_fn_ = std::move(fn);
+  jit_verify_first_ = verify_first;
+  jit_state_.store(verify_first ? kJitUnchecked : kJitVerified,
+                   std::memory_order_release);
+  policy_ = ExecPolicy::kJit;
+}
+
+std::string Program::jit_runtime_diag() const {
+  std::lock_guard<std::mutex> lock(jit_gate_);
+  return jit_diag_;
+}
+
+void Program::jit_call(const cplx* x, cplx* y, ExecContext& ctx) const {
+  jit_fn_(reinterpret_cast<const double*>(x), reinterpret_cast<double*>(y),
+          reinterpret_cast<double*>(ctx.buf_[0].data()),
+          reinterpret_cast<double*>(ctx.buf_[1].data()));
+}
+
+void Program::execute_jit(ExecContext& ctx, const cplx* x, cplx* y) const {
+  // The native entry ping-pongs through caller-provided scratch; both
+  // buffers must exist even when the program would not otherwise need
+  // them (single-stage programs simply ignore the pointers).
+  ctx.ensure_buffers(list_.n, true);
+  util::cvec inplace_copy;
+  if (x == y) {
+    // The native program streams from x while writing y; with aliased
+    // buffers stage the input through a private copy first.
+    inplace_copy.assign(x, x + list_.n);
+    x = inplace_copy.data();
+  }
+  if (jit_verify_first_ &&
+      jit_state_.load(std::memory_order_acquire) == kJitUnchecked) {
+    std::lock_guard<std::mutex> lock(jit_gate_);
+    if (jit_state_.load(std::memory_order_relaxed) == kJitUnchecked) {
+      // First execution: compute the interpreter reference, then the
+      // native result, and only trust the module if they agree. The
+      // caller gets a correct answer either way.
+      util::cvec ref(static_cast<std::size_t>(list_.n));
+      execute_interp(ctx, x, ref.data());
+      ctx.ensure_buffers(list_.n, true);
+      jit_call(x, y, ctx);
+      double err = 0.0;
+      double mag = 0.0;
+      for (idx_t i = 0; i < list_.n; ++i) {
+        err = std::max(err, std::abs(y[i] - ref[std::size_t(i)]));
+        mag = std::max(mag, std::abs(ref[std::size_t(i)]));
+      }
+      if (err <= 1e-9 * std::max(1.0, mag)) {
+        jit_state_.store(kJitVerified, std::memory_order_release);
+      } else {
+        jit_diag_ =
+            "first-execution parity gate: native result deviates from the "
+            "interpreter by " +
+            std::to_string(err) + " (reference magnitude " +
+            std::to_string(mag) + "); demoted to interpreter";
+        std::copy(ref.begin(), ref.end(), y);
+        jit_state_.store(kJitDemoted, std::memory_order_release);
+      }
+      return;
+    }
+    if (jit_state_.load(std::memory_order_relaxed) == kJitDemoted) {
+      // Another caller demoted the program while we waited for the gate.
+      execute_interp(ctx, x, y);
+      return;
+    }
+  }
+  jit_call(x, y, ctx);
 }
 
 }  // namespace spiral::backend

@@ -12,7 +12,11 @@
 // and is therefore NOT safe for concurrent calls on the same Program.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 
 #include "backend/exec_context.hpp"
 #include "backend/stage.hpp"
@@ -34,12 +38,28 @@ enum class ExecPolicy {
   /// (bench_executor).
   kThreadPoolPerStage,
   kOpenMP,  ///< OpenMP parallel-for per stage (compiled in when available)
+  /// Natively compiled executor installed by the JIT subsystem
+  /// (install_jit): the stage list was emitted as C, compiled and
+  /// dlopen'd, and execute() calls straight into the shared object. The
+  /// fused interpreter remains the fallback — before a function is
+  /// installed, after a runtime parity demotion, and for embedders that
+  /// never JIT.
+  kJit,
 };
 
 [[nodiscard]] const char* to_string(ExecPolicy p);
 
 /// True when the library was built with OpenMP support.
 [[nodiscard]] bool openmp_available();
+
+/// Mutation-testing hook (spiral-lint --mutate-pingpong): when enabled,
+/// the interpreter walks the stage list in the wrong (left-to-right)
+/// direction, applying the composition y = S_0 ... S_{k-1} x in reversed
+/// stage order. The static verifier cannot see this defect — every stage
+/// is still individually well-formed — so the lint execution-parity check
+/// must catch it. Never enable outside mutation tests.
+void set_pingpong_mutation(bool enabled) noexcept;
+[[nodiscard]] bool pingpong_mutation() noexcept;
 
 class Program {
  public:
@@ -72,7 +92,38 @@ class Program {
   /// needs); 1 for fully sequential programs.
   [[nodiscard]] int max_parallelism() const noexcept { return max_p_; }
 
+  /// Native executor signature (the JIT ABI's exec entry): interleaved
+  /// complex viewed as doubles, with caller-provided ping-pong scratch.
+  using JitFn =
+      std::function<void(const double* x, double* y, double* b0, double* b1)>;
+
+  /// Installs a natively compiled executor and switches the policy to
+  /// kJit. With `verify_first` the first execution is parity-checked
+  /// against the interpreter: on mismatch the result handed to the caller
+  /// is the interpreter's, the program demotes itself permanently back to
+  /// the interpreter, and jit_runtime_diag() explains why. Call at most
+  /// once, before the program is shared across threads.
+  void install_jit(JitFn fn, bool verify_first);
+
+  /// A native executor has been installed (it may have been demoted).
+  [[nodiscard]] bool jit_installed() const noexcept {
+    return static_cast<bool>(jit_fn_);
+  }
+  /// The native executor is installed and serving executions (not
+  /// demoted by the first-execution parity gate).
+  [[nodiscard]] bool jit_active() const noexcept {
+    return jit_installed() &&
+           jit_state_.load(std::memory_order_acquire) != kJitDemoted;
+  }
+  /// Diagnostic of a runtime demotion ("" while the JIT is healthy).
+  [[nodiscard]] std::string jit_runtime_diag() const;
+
  private:
+  // First-execution parity-gate states.
+  static constexpr int kJitUnchecked = 0;
+  static constexpr int kJitVerified = 1;
+  static constexpr int kJitDemoted = 2;
+
   void run_stage(const Stage& s, const cplx* src, cplx* dst,
                  threading::ThreadPool* pool) const;
   /// Fused dispatch: one pool fork for the whole stage list; workers
@@ -80,12 +131,23 @@ class Program {
   /// the ping-pong buffer pointers thread-local.
   void execute_fused(ExecContext& ctx, const cplx* x, cplx* y,
                      threading::ThreadPool* pool) const;
+  /// The interpreter walk (either fused-pool or per-stage, by policy).
+  void execute_interp(ExecContext& ctx, const cplx* x, cplx* y) const;
+  /// The native executor, including the first-execution parity gate.
+  void execute_jit(ExecContext& ctx, const cplx* x, cplx* y) const;
+  void jit_call(const cplx* x, cplx* y, ExecContext& ctx) const;
 
   StageList list_;
   ExecPolicy policy_;
   threading::ThreadPool* pool_;
   int max_p_ = 1;
   ExecContext self_ctx_;  // backs the context-free execute()
+
+  JitFn jit_fn_;
+  bool jit_verify_first_ = true;
+  mutable std::atomic<int> jit_state_{kJitUnchecked};
+  mutable std::mutex jit_gate_;   // serializes the parity-gate execution
+  mutable std::string jit_diag_;  // guarded by jit_gate_
 };
 
 }  // namespace spiral::backend

@@ -1,10 +1,12 @@
 #include "core/spiral_fft.hpp"
 
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "analysis/verify.hpp"
 #include "backend/lower.hpp"
+#include "jit/runtime.hpp"
 #include "rewrite/expand.hpp"
 #include "rewrite/multicore_fft.hpp"
 #include "rewrite/smp_rules.hpp"
@@ -228,6 +230,31 @@ FftPlan::FftPlan(spl::FormulaPtr formula, backend::StageList stages,
   // safe to execute from many client threads at once.
   program_ = std::make_unique<backend::Program>(std::move(stages),
                                                 opt.policy, nullptr);
+  if (opt.jit || opt.policy == backend::ExecPolicy::kJit) {
+    jit::Compiled compiled =
+        jit::compile_program(program_->stages(), opt.jit_options);
+    jit_report_ = compiled.report;
+    if (compiled.ok()) {
+      // The lambda owns the module: the shared object stays loaded as
+      // long as any plan uses it. Pool-threaded modules dispatch through
+      // globals inside the .so, so concurrent executions of one module
+      // serialize on its mutex; sequential modules are reentrant (the
+      // ping-pong scratch is caller-provided) and skip the lock.
+      auto mod = compiled.module;
+      backend::Program::JitFn fn;
+      if (mod->threads() > 1) {
+        fn = [mod](const double* x, double* y, double* b0, double* b1) {
+          std::lock_guard<std::mutex> lock(mod->exec_mutex());
+          mod->exec()(x, y, b0, b1);
+        };
+      } else {
+        fn = [mod](const double* x, double* y, double* b0, double* b1) {
+          mod->exec()(x, y, b0, b1);
+        };
+      }
+      program_->install_jit(std::move(fn), opt.jit_verify_first);
+    }
+  }
 }
 
 void FftPlan::execute(backend::ExecContext& ctx, const cplx* x,
@@ -262,6 +289,9 @@ std::unique_ptr<FftPlan> plan_dft(idx_t n, const PlannerOptions& opt,
     *out_descriptor =
         descriptor_shell(wisdom::TransformKind::kDFT, n, 0, opt);
     out_descriptor->trees = std::move(record);
+    if (plan->jit_report().ok()) {
+      out_descriptor->jit_key = plan->jit_report().cache_key;
+    }
   }
   return plan;
 }
@@ -273,6 +303,9 @@ std::unique_ptr<FftPlan> plan_wht(idx_t n, const PlannerOptions& opt,
     // The WHT expansion is chooser-free: the descriptor carries no trees.
     *out_descriptor =
         descriptor_shell(wisdom::TransformKind::kWHT, n, 0, opt);
+    if (plan->jit_report().ok()) {
+      out_descriptor->jit_key = plan->jit_report().cache_key;
+    }
   }
   return plan;
 }
@@ -288,6 +321,9 @@ std::unique_ptr<FftPlan> plan_dft_2d(idx_t rows, idx_t cols,
     *out_descriptor =
         descriptor_shell(wisdom::TransformKind::kDFT2D, rows, cols, opt);
     out_descriptor->trees = std::move(record);
+    if (plan->jit_report().ok()) {
+      out_descriptor->jit_key = plan->jit_report().cache_key;
+    }
   }
   return plan;
 }
@@ -302,6 +338,9 @@ std::unique_ptr<FftPlan> plan_batch_dft(idx_t n, idx_t batch,
     *out_descriptor =
         descriptor_shell(wisdom::TransformKind::kBatchDFT, n, batch, opt);
     out_descriptor->trees = std::move(record);
+    if (plan->jit_report().ok()) {
+      out_descriptor->jit_key = plan->jit_report().cache_key;
+    }
   }
   return plan;
 }

@@ -1,0 +1,150 @@
+#include "jit/cache.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+namespace spiral::jit {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string env_or_empty(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+bool usable_dir(const std::string& dir, std::string* err) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    *err = dir + ": " + ec.message();
+    return false;
+  }
+  if (::access(dir.c_str(), W_OK | X_OK) != 0) {
+    *err = dir + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+/// First writable directory along the resolution chain, created if
+/// needed. An *explicit* override that cannot be used is an error, not a
+/// fall-through: silently switching to a shared default directory would
+/// violate the caller's isolation request (and could serve objects the
+/// caller never built).
+std::string resolve_dir(const std::string& override_dir, std::string* error) {
+  if (!override_dir.empty()) {
+    std::string err;
+    if (usable_dir(override_dir, &err)) return override_dir;
+    if (error != nullptr) *error = "cache_dir override unusable (" + err + ")";
+    return {};
+  }
+  std::vector<std::string> candidates;
+  if (std::string env = env_or_empty("SPIRAL_JIT_CACHE_DIR"); !env.empty()) {
+    candidates.push_back(env);
+  }
+  if (std::string xdg = env_or_empty("XDG_CACHE_HOME"); !xdg.empty()) {
+    candidates.push_back(xdg + "/spiral-fft/jit");
+  }
+  if (std::string home = env_or_empty("HOME"); !home.empty()) {
+    candidates.push_back(home + "/.cache/spiral-fft/jit");
+  }
+  candidates.push_back("/tmp/spiral-fft-jit");
+  std::string last_err;
+  for (const std::string& dir : candidates) {
+    if (usable_dir(dir, &last_err)) return dir;
+  }
+  if (error != nullptr) *error = "no usable cache directory (" + last_err + ")";
+  return {};
+}
+
+}  // namespace
+
+DiskCache::DiskCache(const std::string& override_dir, std::uint64_t max_bytes)
+    : max_bytes_(max_bytes) {
+  dir_ = resolve_dir(override_dir, &error_);
+}
+
+std::string DiskCache::so_path(const std::string& key) const {
+  return dir_ + "/" + key + ".so";
+}
+
+bool DiskCache::contains_and_touch(const std::string& key) const {
+  if (!ok()) return false;
+  const std::string path = so_path(key);
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) return false;
+  ::utime(path.c_str(), nullptr);  // mark as recently used for the LRU sweep
+  return true;
+}
+
+std::string DiskCache::tmp_path(const std::string& key) const {
+  return dir_ + "/." + key + ".tmp." + std::to_string(::getpid()) + ".so";
+}
+
+bool DiskCache::install(const std::string& key, const std::string& tmp_so,
+                        std::string* error) const {
+  std::error_code ec;
+  fs::rename(tmp_so, so_path(key), ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "rename into cache failed: " + ec.message();
+    }
+    fs::remove(tmp_so, ec);
+    return false;
+  }
+  return true;
+}
+
+void DiskCache::evict(const std::string& key) const {
+  if (!ok()) return;
+  std::error_code ec;
+  fs::remove(so_path(key), ec);
+}
+
+std::size_t DiskCache::sweep() const {
+  if (!ok()) return 0;
+  struct Entry {
+    fs::path path;
+    std::uint64_t size;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    if (ec) return 0;
+    if (!de.is_regular_file(ec) || de.path().extension() != ".so") continue;
+    std::uint64_t size = de.file_size(ec);
+    if (ec) continue;
+    fs::file_time_type mtime = de.last_write_time(ec);
+    if (ec) continue;
+    entries.push_back({de.path(), size, mtime});
+    total += size;
+  }
+  if (total <= max_bytes_) return 0;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  std::size_t removed = 0;
+  for (const Entry& e : entries) {
+    if (total <= max_bytes_) break;
+    std::error_code rm_ec;
+    if (fs::remove(e.path, rm_ec)) {
+      total -= e.size;
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace spiral::jit

@@ -1,0 +1,60 @@
+// On-disk cache of compiled JIT objects.
+//
+// Layout: one `<key>.so` per entry in a single directory (resolved from
+// Options::cache_dir, $SPIRAL_JIT_CACHE_DIR, $XDG_CACHE_HOME or
+// $HOME/.cache under spiral-fft/jit, else /tmp/spiral-fft-jit). Installs
+// are atomic: the compiler writes a private temp file which is renamed
+// into place, so concurrent processes never observe a half-written
+// object. The cache is bounded: sweep() removes least-recently-used
+// entries (mtime order; hits touch the file) until the directory is back
+// under the byte budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spiral::jit {
+
+class DiskCache {
+ public:
+  /// Resolves the cache directory (creating it if needed). `override` is
+  /// Options::cache_dir; empty falls through the environment chain. An
+  /// explicit override that cannot be used makes the cache unusable
+  /// (ok() == false) rather than falling through — the caller asked for
+  /// isolation and must not silently share the default directory.
+  explicit DiskCache(const std::string& override_dir,
+                     std::uint64_t max_bytes);
+
+  [[nodiscard]] bool ok() const { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Path the object for `key` lives at (whether or not it exists).
+  [[nodiscard]] std::string so_path(const std::string& key) const;
+
+  /// True when an entry for `key` exists; refreshes its mtime so the LRU
+  /// sweep sees it as recently used.
+  [[nodiscard]] bool contains_and_touch(const std::string& key) const;
+
+  /// A private temp path in the cache directory for the compiler to
+  /// write to (same filesystem as the final path, so rename is atomic).
+  [[nodiscard]] std::string tmp_path(const std::string& key) const;
+
+  /// Atomically renames `tmp_so` into place as the entry for `key`.
+  [[nodiscard]] bool install(const std::string& key, const std::string& tmp_so,
+                             std::string* error) const;
+
+  /// Removes the entry for `key` (corrupt-object eviction).
+  void evict(const std::string& key) const;
+
+  /// LRU sweep: deletes oldest-mtime `.so` entries until total size is
+  /// within max_bytes. Returns the number of entries removed.
+  std::size_t sweep() const;
+
+ private:
+  std::string dir_;  ///< empty when unusable
+  std::string error_;
+  std::uint64_t max_bytes_;
+};
+
+}  // namespace spiral::jit

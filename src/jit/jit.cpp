@@ -1,0 +1,438 @@
+#include "jit/jit.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <type_traits>
+
+#include "analysis/verify.hpp"
+#include "backend/codegen_c.hpp"
+#include "jit/cache.hpp"
+#include "jit/runtime.hpp"
+
+// Configure-time default C compiler (detected by src/jit/CMakeLists.txt);
+// overridable at runtime via $SPIRAL_JIT_CC or Options::compiler.
+#ifndef SPIRAL_JIT_DEFAULT_CC
+#define SPIRAL_JIT_DEFAULT_CC ""
+#endif
+
+namespace spiral::jit {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct AtomicStats {
+  std::atomic<std::uint64_t> compiles{0};
+  std::atomic<std::uint64_t> compile_failures{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> loads{0};
+  std::atomic<std::uint64_t> load_failures{0};
+  std::atomic<std::uint64_t> evictions{0};
+};
+
+AtomicStats& g_stats() {
+  static AtomicStats s;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a 64-bit over explicit byte feeds: stable across processes and
+// builds, unlike std::hash.
+
+struct Fnv64 {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+
+  void bytes(const void* p, std::size_t len) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ull;
+    }
+  }
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(v));
+  }
+  void str(const std::string& s) {
+    pod(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string env_or_empty(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+/// Resolves `name` the way execvp would and checks it is executable.
+/// Returns the usable path/name, or "" when nothing executable is found.
+std::string executable_or_empty(const std::string& name) {
+  if (name.empty()) return {};
+  if (name.find('/') != std::string::npos) {
+    return ::access(name.c_str(), X_OK) == 0 ? name : std::string();
+  }
+  std::string path = env_or_empty("PATH");
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    std::size_t end = path.find(':', pos);
+    if (end == std::string::npos) end = path.size();
+    std::string dir = path.substr(pos, end - pos);
+    if (dir.empty()) dir = ".";
+    std::string cand = dir + "/" + name;
+    if (::access(cand.c_str(), X_OK) == 0) return name;
+    pos = end + 1;
+  }
+  return {};
+}
+
+/// Identity of the compiler binary for the cache key: path + size + mtime
+/// of the resolved executable. A compiler upgrade invalidates the cache.
+void feed_compiler_fingerprint(Fnv64& f, const std::string& cc) {
+  f.str(cc);
+  std::string resolved = cc;
+  if (cc.find('/') == std::string::npos) {
+    std::string path = env_or_empty("PATH");
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+      std::size_t end = path.find(':', pos);
+      if (end == std::string::npos) end = path.size();
+      std::string dir = path.substr(pos, end - pos);
+      if (!dir.empty()) {
+        std::string cand = dir + "/" + cc;
+        if (::access(cand.c_str(), X_OK) == 0) {
+          resolved = cand;
+          break;
+        }
+      }
+      pos = end + 1;
+    }
+  }
+  struct stat st{};
+  if (::stat(resolved.c_str(), &st) == 0) {
+    f.pod(static_cast<std::int64_t>(st.st_size));
+    f.pod(static_cast<std::int64_t>(st.st_mtime));
+  }
+}
+
+idx_t max_parallel(const backend::StageList& list) {
+  idx_t p = 0;
+  for (const auto& st : list.stages) p = std::max(p, st.parallel_p);
+  return p;
+}
+
+std::string read_file_excerpt(const std::string& path, std::size_t max_len) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  std::string s = os.str();
+  if (s.size() > max_len) {
+    s.resize(max_len);
+    s += "...";
+  }
+  // Trim trailing whitespace for tidy one-line reports.
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+  return s;
+}
+
+void append_note(std::string* notes, const std::string& note) {
+  if (!notes->empty()) *notes += "; ";
+  *notes += note;
+}
+
+/// Compiles `source` into `out_so`. Returns true on success; on failure
+/// fills `error` with the compiler's stderr excerpt.
+bool run_compiler(const std::string& cc, const std::string& extra_cflags,
+                  const std::string& src_path, const std::string& out_so,
+                  std::string* error) {
+  const std::string err_path = out_so + ".err";
+  std::string cmd = "'" + cc + "' -O2 -std=c11 -fPIC -shared -pthread ";
+  if (!extra_cflags.empty()) cmd += extra_cflags + " ";
+  cmd += "-o '" + out_so + "' '" + src_path + "' -lm 2> '" + err_path + "'";
+  int rc = std::system(cmd.c_str());
+  std::string stderr_text = read_file_excerpt(err_path, 600);
+  std::error_code ec;
+  fs::remove(err_path, ec);
+  if (rc != 0) {
+    *error = "compiler exited with status " + std::to_string(rc);
+    if (!stderr_text.empty()) *error += ": " + stderr_text;
+    return false;
+  }
+  if (::access(out_so.c_str(), R_OK) != 0) {
+    *error = "compiler reported success but produced no object";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(JitStatus s) {
+  switch (s) {
+    case JitStatus::kOk: return "ok";
+    case JitStatus::kDisabled: return "disabled";
+    case JitStatus::kNoCompiler: return "no-compiler";
+    case JitStatus::kVerifyFailed: return "verify-failed";
+    case JitStatus::kCacheFailed: return "cache-failed";
+    case JitStatus::kCompileFailed: return "compile-failed";
+    case JitStatus::kLoadFailed: return "load-failed";
+    case JitStatus::kBadModule: return "bad-module";
+    case JitStatus::kParityFailed: return "parity-failed";
+  }
+  return "?";
+}
+
+std::string Report::to_string() const {
+  std::string s = "jit: ";
+  s += jit::to_string(status);
+  if (!cache_key.empty()) s += " key=" + cache_key;
+  if (status == JitStatus::kOk) {
+    s += cache_hit ? " (cache hit)" : " (compiled)";
+  }
+  if (!message.empty()) s += " — " + message;
+  if (!notes.empty()) s += " [" + notes + "]";
+  return s;
+}
+
+std::uint64_t program_fingerprint(const backend::StageList& list) {
+  Fnv64 f;
+  f.pod(list.n);
+  f.pod(list.stages.size());
+  for (const auto& st : list.stages) {
+    f.pod(st.iters);
+    f.pod(st.cn);
+    f.pod(st.sign);
+    f.pod(static_cast<int>(st.is_compute));
+    f.pod(static_cast<int>(st.wht));
+    f.pod(st.parallel_p);
+    f.pod(st.sched_block);
+    f.pod(static_cast<int>(st.in_affine));
+    f.pod(static_cast<int>(st.out_affine));
+    if (st.in_affine) {
+      f.pod(st.in_aff.base);
+      f.pod(st.in_aff.iter_stride);
+      f.pod(st.in_aff.elem_stride);
+    } else {
+      f.pod(st.in_map.size());
+      f.bytes(st.in_map.data(), st.in_map.size() * sizeof(std::int32_t));
+    }
+    if (st.out_affine) {
+      f.pod(st.out_aff.base);
+      f.pod(st.out_aff.iter_stride);
+      f.pod(st.out_aff.elem_stride);
+    } else {
+      f.pod(st.out_map.size());
+      f.bytes(st.out_map.data(), st.out_map.size() * sizeof(std::int32_t));
+    }
+    f.pod(st.in_scale.size());
+    f.bytes(st.in_scale.data(), st.in_scale.size() * sizeof(cplx));
+    f.pod(st.out_scale.size());
+    f.bytes(st.out_scale.data(), st.out_scale.size() * sizeof(cplx));
+  }
+  return f.h;
+}
+
+std::string resolve_compiler(const Options& opt) {
+  if (!opt.compiler.empty()) return executable_or_empty(opt.compiler);
+  if (std::string env = env_or_empty("SPIRAL_JIT_CC"); !env.empty()) {
+    return executable_or_empty(env);
+  }
+  return executable_or_empty(SPIRAL_JIT_DEFAULT_CC);
+}
+
+std::string cache_key(const backend::StageList& list, const Options& opt) {
+  Fnv64 f;
+  f.pod(program_fingerprint(list));
+  f.pod(backend::kCodegenVersion);
+  f.pod(backend::kJitAbiVersion);
+  feed_compiler_fingerprint(f, resolve_compiler(opt));
+  f.str(opt.extra_cflags);
+  f.pod(max_parallel(list) > 1 ? 1 : 0);  // threading mode of the emission
+  return hex64(f.h);
+}
+
+Compiled compile_program(const backend::StageList& list, const Options& opt) {
+  Compiled out;
+  Report& rep = out.report;
+
+  // 1. Gate the program before emitting anything from it.
+  analysis::Report ver = analysis::verify(list);
+  if (!ver.ok()) {
+    rep.status = JitStatus::kVerifyFailed;
+    rep.message = "static verifier rejected the program: " +
+                  std::to_string(ver.error_count()) + " error(s)";
+    return out;
+  }
+
+  // 2. Resolve the compiler; without one the plan keeps the interpreter.
+  const std::string cc = resolve_compiler(opt);
+  if (cc.empty()) {
+    rep.status = JitStatus::kNoCompiler;
+    rep.message =
+        "no usable C compiler (set SPIRAL_JIT_CC or configure with "
+        "-DSPIRAL_JIT_CC=...)";
+    return out;
+  }
+
+  const std::uint64_t fingerprint = program_fingerprint(list);
+  const std::string key = cache_key(list, opt);
+  rep.cache_key = key;
+
+  // 3. A live module of the same key: share it, no disk or compiler work.
+  if (opt.use_cache) {
+    if (auto mod = Runtime::instance().lookup(key)) {
+      g_stats().cache_hits.fetch_add(1, std::memory_order_relaxed);
+      rep.status = JitStatus::kOk;
+      rep.cache_hit = true;
+      rep.message = "shared already-loaded module";
+      out.module = std::move(mod);
+      return out;
+    }
+  }
+
+  DiskCache cache(opt.cache_dir, opt.cache_max_bytes);
+  if (!cache.ok()) {
+    rep.status = JitStatus::kCacheFailed;
+    rep.message = cache.error();
+    return out;
+  }
+
+  // 4. Disk hit: load and validate; a corrupt entry is evicted and we
+  // fall through to a fresh compile instead of failing the plan.
+  if (opt.use_cache && cache.contains_and_touch(key)) {
+    std::string err;
+    bool bad = false;
+    auto mod = Runtime::instance().load(key, cache.so_path(key), list.n,
+                                        fingerprint, &err, &bad);
+    if (mod) {
+      g_stats().cache_hits.fetch_add(1, std::memory_order_relaxed);
+      g_stats().loads.fetch_add(1, std::memory_order_relaxed);
+      rep.status = JitStatus::kOk;
+      rep.cache_hit = true;
+      out.module = std::move(mod);
+      return out;
+    }
+    g_stats().load_failures.fetch_add(1, std::memory_order_relaxed);
+    g_stats().evictions.fetch_add(1, std::memory_order_relaxed);
+    cache.evict(key);
+    append_note(&rep.notes, "evicted unloadable cache entry (" + err + ")");
+  }
+
+  // 5. Miss: emit the program and invoke the compiler.
+  backend::CodegenOptions cg;
+  cg.function_name = "spiral_jit_entry";
+  cg.jit_abi = true;
+  cg.fingerprint = fingerprint;
+  cg.threading = max_parallel(list) > 1
+                     ? backend::CodegenThreading::kPthreadsPool
+                     : backend::CodegenThreading::kNone;
+  const std::string source = backend::emit_c(list, cg);
+
+  const std::string tmp_so = cache.tmp_path(key);
+  const std::string tmp_c = tmp_so + ".c";
+  {
+    std::ofstream src(tmp_c);
+    src << source;
+    if (!src) {
+      rep.status = JitStatus::kCacheFailed;
+      rep.message = "cannot write source to cache dir " + cache.dir();
+      return out;
+    }
+  }
+
+  std::string cerr_msg;
+  g_stats().compiles.fetch_add(1, std::memory_order_relaxed);
+  const bool compiled =
+      run_compiler(cc, opt.extra_cflags, tmp_c, tmp_so, &cerr_msg);
+  {
+    std::error_code ec;
+    fs::remove(tmp_c, ec);
+  }
+  if (!compiled) {
+    g_stats().compile_failures.fetch_add(1, std::memory_order_relaxed);
+    std::error_code ec;
+    fs::remove(tmp_so, ec);
+    rep.status = JitStatus::kCompileFailed;
+    rep.message = cerr_msg;
+    return out;
+  }
+
+  // 6. Install (atomic rename) and load the final object.
+  std::string so_path = tmp_so;
+  if (opt.use_cache) {
+    std::string inst_err;
+    if (!cache.install(key, tmp_so, &inst_err)) {
+      rep.status = JitStatus::kCacheFailed;
+      rep.message = inst_err;
+      return out;
+    }
+    so_path = cache.so_path(key);
+    const std::size_t swept = cache.sweep();
+    if (swept > 0) {
+      g_stats().evictions.fetch_add(swept, std::memory_order_relaxed);
+      append_note(&rep.notes,
+                  "LRU sweep removed " + std::to_string(swept) + " entries");
+    }
+  }
+
+  std::string load_err;
+  bool bad = false;
+  auto mod = Runtime::instance().load(key, so_path, list.n, fingerprint,
+                                      &load_err, &bad);
+  if (!opt.use_cache) {
+    // The mapping survives the unlink; nothing is left behind.
+    std::error_code ec;
+    fs::remove(so_path, ec);
+  }
+  if (!mod) {
+    g_stats().load_failures.fetch_add(1, std::memory_order_relaxed);
+    rep.status = bad ? JitStatus::kBadModule : JitStatus::kLoadFailed;
+    rep.message = load_err;
+    return out;
+  }
+  g_stats().loads.fetch_add(1, std::memory_order_relaxed);
+  rep.status = JitStatus::kOk;
+  out.module = std::move(mod);
+  return out;
+}
+
+Stats stats() {
+  const AtomicStats& s = g_stats();
+  Stats out;
+  out.compiles = s.compiles.load(std::memory_order_relaxed);
+  out.compile_failures = s.compile_failures.load(std::memory_order_relaxed);
+  out.cache_hits = s.cache_hits.load(std::memory_order_relaxed);
+  out.loads = s.loads.load(std::memory_order_relaxed);
+  out.load_failures = s.load_failures.load(std::memory_order_relaxed);
+  out.evictions = s.evictions.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_stats() {
+  AtomicStats& s = g_stats();
+  s.compiles = 0;
+  s.compile_failures = 0;
+  s.cache_hits = 0;
+  s.loads = 0;
+  s.load_failures = 0;
+  s.evictions = 0;
+}
+
+}  // namespace spiral::jit

@@ -1,0 +1,123 @@
+// JIT plan compilation: close the program-generation loop at plan time.
+//
+// The paper's deployment model is *generated code*, not an interpreter:
+// SPIRAL emits tuned C for the target machine and the compiled routine
+// serves traffic. This subsystem turns a lowered+fused StageList into
+// exactly that routine while the process runs: it emits the program via
+// backend::emit_c (hardened JIT ABI), invokes the system C compiler to
+// build a shared object, dlopens it, and hands back an entry point the
+// planner installs as the plan's executor (backend::ExecPolicy::kJit).
+//
+// Reliability ladder (a JIT failure can never make a plan unusable):
+//   1. analysis::verify gates the program before emission,
+//   2. every compile/cache/load/symbol failure is a typed JitStatus and
+//      the plan silently keeps the fused interpreter,
+//   3. the first execution of a JIT'd plan is parity-checked against the
+//      interpreter (PlannerOptions::jit_verify_first) and demotes the
+//      plan to the interpreter on mismatch.
+//
+// Compiled objects live in an on-disk cache keyed by (program
+// fingerprint, codegen version, compiler fingerprint, flags) with
+// atomic rename-into-place and a bounded-size LRU sweep, so warm
+// processes skip the compiler entirely; the key is also recorded in
+// wisdom (PlanDescriptor::jit_key) so a process importing wisdom skips
+// both search *and* compilation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "backend/stage.hpp"
+
+namespace spiral::jit {
+
+class Module;
+
+/// Typed outcome of the JIT pipeline (and of the runtime parity gate).
+enum class JitStatus {
+  kOk = 0,        ///< native executor installed
+  kDisabled,      ///< JIT not requested for this plan
+  kNoCompiler,    ///< no usable C compiler (configure-time default,
+                  ///< SPIRAL_JIT_CC override, or Options::compiler)
+  kVerifyFailed,  ///< analysis::verify rejected the program pre-emission
+  kCacheFailed,   ///< cache directory unusable or rename failed
+  kCompileFailed, ///< the compiler exited nonzero
+  kLoadFailed,    ///< dlopen rejected the shared object
+  kBadModule,     ///< descriptor symbol missing, or ABI/shape/fingerprint
+                  ///< mismatch (stale or corrupt cache entry)
+  kParityFailed,  ///< first-execution output disagreed with the interpreter
+};
+
+[[nodiscard]] const char* to_string(JitStatus s);
+
+/// Diagnostics of one JIT attempt, surfaced on the plan.
+struct Report {
+  JitStatus status = JitStatus::kDisabled;
+  std::string message;    ///< human detail (compiler stderr excerpt, ...)
+  std::string cache_key;  ///< hex key of the compiled object ("" if unknown)
+  bool cache_hit = false; ///< object came from disk; compiler not invoked
+  std::string notes;      ///< non-fatal events (corrupt entry evicted, ...)
+
+  [[nodiscard]] bool ok() const { return status == JitStatus::kOk; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Knobs of the JIT driver. The defaults resolve from the environment:
+/// compiler from $SPIRAL_JIT_CC then the CMake-detected system compiler,
+/// cache directory from $SPIRAL_JIT_CACHE_DIR then $XDG_CACHE_HOME or
+/// $HOME/.cache (spiral-fft/jit) then /tmp.
+struct Options {
+  std::string compiler;      ///< empty: environment/configure default
+  std::string extra_cflags;  ///< appended to the compile line (cache-keyed)
+  std::string cache_dir;     ///< empty: environment/XDG default
+  std::uint64_t cache_max_bytes = std::uint64_t{256} << 20;
+  bool use_cache = true;     ///< false: always recompile (tests/bench)
+};
+
+/// Result of compile_program: a live module (shared with other plans of
+/// the same program via the runtime registry) or a typed failure.
+struct Compiled {
+  Report report;
+  std::shared_ptr<Module> module;  ///< null unless report.ok()
+
+  [[nodiscard]] bool ok() const { return module != nullptr; }
+};
+
+/// Stable 64-bit fingerprint of a lowered program: covers the stage
+/// structure, index maps / affine descriptors, schedules and scale
+/// tables bit-exactly. Identical programs hash identically across
+/// processes; any semantic difference changes the hash.
+[[nodiscard]] std::uint64_t program_fingerprint(
+    const backend::StageList& list);
+
+/// The on-disk cache key this program resolves to under `opt`:
+/// hex(fnv64(program fingerprint, codegen version, JIT ABI version,
+/// compiler fingerprint, flags, threading mode)). Recorded in wisdom.
+[[nodiscard]] std::string cache_key(const backend::StageList& list,
+                                    const Options& opt = {});
+
+/// The full pipeline: verify, cache lookup, emit + compile on miss,
+/// atomic cache install, dlopen + descriptor validation. Never throws on
+/// compiler/cache/loader problems — failures come back as typed reports.
+[[nodiscard]] Compiled compile_program(const backend::StageList& list,
+                                       const Options& opt = {});
+
+/// The compiler the driver would invoke for `opt` ("" when none usable).
+[[nodiscard]] std::string resolve_compiler(const Options& opt = {});
+
+/// Process-wide JIT counters (monotonic; snapshot by value). The
+/// cache-hit CI assertion and the bench harness read these.
+struct Stats {
+  std::uint64_t compiles = 0;          ///< compiler invocations
+  std::uint64_t compile_failures = 0;
+  std::uint64_t cache_hits = 0;        ///< disk (or registry) hits
+  std::uint64_t loads = 0;             ///< successful dlopens
+  std::uint64_t load_failures = 0;     ///< corrupt/stale objects rejected
+  std::uint64_t evictions = 0;         ///< LRU sweeps + corrupt evictions
+};
+
+[[nodiscard]] Stats stats();
+void reset_stats();  ///< tests only
+
+}  // namespace spiral::jit

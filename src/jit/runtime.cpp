@@ -1,0 +1,105 @@
+#include "jit/runtime.hpp"
+
+#include <dlfcn.h>
+
+#include <map>
+#include <mutex>
+
+#include "backend/codegen_c.hpp"
+
+namespace spiral::jit {
+
+Module::~Module() {
+  // Stop the generated worker pool (joinable threads inside the .so)
+  // before the code is unmapped; then release the handle.
+  if (desc_ != nullptr && desc_->shutdown != nullptr) desc_->shutdown();
+  if (handle_ != nullptr) dlclose(handle_);
+}
+
+struct Runtime::Impl {
+  std::mutex m;
+  std::map<std::string, std::weak_ptr<Module>> modules;
+};
+
+Runtime& Runtime::instance() {
+  static Runtime rt;
+  return rt;
+}
+
+Runtime::Impl& Runtime::impl() {
+  static Impl impl;
+  return impl;
+}
+
+std::shared_ptr<Module> Runtime::lookup(const std::string& key) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.m);
+  auto it = im.modules.find(key);
+  if (it == im.modules.end()) return nullptr;
+  auto mod = it->second.lock();
+  if (!mod) im.modules.erase(it);
+  return mod;
+}
+
+std::shared_ptr<Module> Runtime::load(const std::string& key,
+                                      const std::string& path, idx_t expect_n,
+                                      std::uint64_t expect_fingerprint,
+                                      std::string* error, bool* bad_module) {
+  if (bad_module != nullptr) *bad_module = false;
+  void* handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* why = dlerror();
+    if (error != nullptr) {
+      *error = "dlopen('" + path + "') failed: " + (why ? why : "?");
+    }
+    return nullptr;
+  }
+  auto reject = [&](const std::string& why) -> std::shared_ptr<Module> {
+    dlclose(handle);
+    if (error != nullptr) *error = why;
+    if (bad_module != nullptr) *bad_module = true;
+    return nullptr;
+  };
+  const auto* desc = static_cast<const SpiralJitProgramV1*>(
+      dlsym(handle, "spiral_jit_program"));
+  if (desc == nullptr) {
+    return reject("object at '" + path +
+                  "' exports no spiral_jit_program descriptor");
+  }
+  if (desc->abi_version != backend::kJitAbiVersion) {
+    return reject("ABI version mismatch: object " +
+                  std::to_string(desc->abi_version) + ", expected " +
+                  std::to_string(backend::kJitAbiVersion));
+  }
+  if (desc->exec == nullptr) return reject("descriptor carries no entry point");
+  if (static_cast<idx_t>(desc->n) != expect_n) {
+    return reject("transform size mismatch: object n=" +
+                  std::to_string(desc->n) + ", plan n=" +
+                  std::to_string(expect_n));
+  }
+  if (expect_fingerprint != 0 && desc->fingerprint != expect_fingerprint) {
+    return reject("program fingerprint mismatch (stale or corrupt entry)");
+  }
+  std::shared_ptr<Module> mod(new Module(handle, desc, key, path));
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.m);
+  im.modules[key] = mod;
+  return mod;
+}
+
+std::size_t Runtime::live_modules() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.m);
+  std::size_t alive = 0;
+  for (auto it = im.modules.begin(); it != im.modules.end();) {
+    if (it->second.expired()) {
+      it = im.modules.erase(it);
+    } else {
+      ++alive;
+      ++it;
+    }
+  }
+  return alive;
+}
+
+}  // namespace spiral::jit

@@ -1,0 +1,106 @@
+// JIT runtime loader: dlopen'd program modules and the process-wide
+// registry that shares them between plans.
+//
+// A Module owns one loaded shared object. Loading validates the exported
+// `spiral_jit_program` descriptor (ABI version, transform size, program
+// fingerprint) before anything is executed, so a stale or corrupt cache
+// entry is rejected as JitStatus::kBadModule instead of crashing. On
+// destruction the module calls the generated _shutdown() hook — which
+// quits and joins the persistent worker pool baked into parallel
+// programs — and only then dlcloses the handle, making unload safe even
+// for pool-threaded code.
+//
+// The Runtime singleton keeps a key -> weak_ptr<Module> registry: plans
+// of the same program share one load, dead modules fall out of the map,
+// and shutdown_all() (invoked at static destruction) drops whatever is
+// still registered.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace spiral::jit {
+
+/// C-side mirror of the descriptor struct the generated code exports
+/// (backend::CodegenOptions::jit_abi). Field order and types are the ABI;
+/// bump backend::kJitAbiVersion when changing it.
+struct SpiralJitProgramV1 {
+  int abi_version;
+  long long n;
+  int threads;
+  unsigned long long fingerprint;
+  void (*exec)(const double* x, double* y, double* b0, double* b1);
+  void (*shutdown)();
+};
+
+class Module {
+ public:
+  using ExecFn = void (*)(const double*, double*, double*, double*);
+
+  ~Module();
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] ExecFn exec() const noexcept { return desc_->exec; }
+  [[nodiscard]] idx_t n() const noexcept {
+    return static_cast<idx_t>(desc_->n);
+  }
+  [[nodiscard]] int threads() const noexcept { return desc_->threads; }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return desc_->fingerprint;
+  }
+  [[nodiscard]] const std::string& key() const noexcept { return key_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Pool-threaded modules dispatch work through globals inside the
+  /// shared object, so concurrent executions of one module must be
+  /// serialized. All plans sharing this module (via the runtime
+  /// registry) lock the same mutex; sequential modules skip it.
+  [[nodiscard]] std::mutex& exec_mutex() const noexcept { return exec_mu_; }
+
+ private:
+  friend class Runtime;
+  Module(void* handle, const SpiralJitProgramV1* desc, std::string key,
+         std::string path)
+      : handle_(handle), desc_(desc), key_(std::move(key)),
+        path_(std::move(path)) {}
+
+  void* handle_;
+  const SpiralJitProgramV1* desc_;
+  std::string key_;
+  std::string path_;
+  mutable std::mutex exec_mu_;
+};
+
+class Runtime {
+ public:
+  /// The process-wide runtime.
+  static Runtime& instance();
+
+  /// Returns the live module registered under `key`, or null.
+  [[nodiscard]] std::shared_ptr<Module> lookup(const std::string& key);
+
+  /// dlopens `path` and validates its descriptor against the expected
+  /// transform size and program fingerprint (fingerprint 0 = skip that
+  /// check). On success the module is registered under `key` and shared
+  /// with later lookups. On failure returns null and sets `error`
+  /// (load vs. descriptor problems are distinguished by `bad_module`).
+  [[nodiscard]] std::shared_ptr<Module> load(
+      const std::string& key, const std::string& path, idx_t expect_n,
+      std::uint64_t expect_fingerprint, std::string* error,
+      bool* bad_module);
+
+  /// Number of currently live modules (expired registry entries pruned).
+  [[nodiscard]] std::size_t live_modules();
+
+ private:
+  Runtime() = default;
+  struct Impl;
+  [[nodiscard]] Impl& impl();
+};
+
+}  // namespace spiral::jit

@@ -241,9 +241,10 @@ FormulaPtr vectorize(const FormulaPtr& f, idx_t nu, Trace* trace) {
   return rewrite_fixpoint(std::move(tagged), vec_rules(), trace);
 }
 
-FormulaPtr vectorize_parallel_blocks(const FormulaPtr& f, idx_t nu) {
+FormulaPtr vectorize_parallel_blocks(const FormulaPtr& f, idx_t nu,
+                                     Trace* trace) {
   if (f->kind == Kind::kTensorPar) {
-    FormulaPtr g = vectorize(f->child(0), nu);
+    FormulaPtr g = vectorize(f->child(0), nu, trace);
     if (!spl::has_vec_tag(g)) {
       return Builder::tensor_par(f->p, std::move(g));
     }
@@ -254,7 +255,7 @@ FormulaPtr vectorize_parallel_blocks(const FormulaPtr& f, idx_t nu) {
   kids.reserve(f->arity());
   bool changed = false;
   for (const auto& c : f->children) {
-    FormulaPtr nc = vectorize_parallel_blocks(c, nu);
+    FormulaPtr nc = vectorize_parallel_blocks(c, nu, trace);
     changed = changed || (nc != c);
     kids.push_back(std::move(nc));
   }

@@ -58,8 +58,11 @@ namespace spiral::rewrite {
 /// I_p (x)|| constructs) with vec(nu). Blocks whose preconditions fail
 /// are left scalar; the parallel structure (Definition 1) is untouched.
 /// Requires nu <= mu so the boundary permutations already move whole
-/// vectors.
+/// vectors. When `trace` is non-null, the rewriting steps of every
+/// vectorized block are appended to it (the tandem half of a derivation
+/// trace; the smp half comes from derive_multicore_ct's own Trace).
 [[nodiscard]] FormulaPtr vectorize_parallel_blocks(const FormulaPtr& f,
-                                                   idx_t nu);
+                                                   idx_t nu,
+                                                   Trace* trace = nullptr);
 
 }  // namespace spiral::rewrite

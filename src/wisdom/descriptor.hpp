@@ -43,6 +43,13 @@ struct PlanDescriptor {
   idx_t leaf = rewrite::kMaxCodeletSize;
   int direction = -1;
   RuleTreeMap trees;
+  /// JIT disk-cache key of the compiled executor, when the plan was JIT
+  /// compiled ("" otherwise). Advisory: a process importing this wisdom
+  /// and planning with jit enabled recomputes the key — which also covers
+  /// the local compiler fingerprint — and warm caches then skip the
+  /// compiler entirely. Deliberately NOT part of key(): the descriptor
+  /// identity is the program structure, not how it was executed.
+  std::string jit_key;
 
   /// Identity of a descriptor: the planning parameters that determine the
   /// generated program's *structure*. Execution-level knobs (ExecPolicy)

@@ -74,6 +74,7 @@ std::string to_text(const std::vector<PlanDescriptor>& plans) {
     os << "plan kind=" << to_string(d.kind) << " n=" << d.n << " n2=" << d.n2
        << " p=" << d.threads << " mu=" << d.mu << " nu=" << d.nu
        << " leaf=" << d.leaf << " dir=" << d.direction << "\n";
+    if (!d.jit_key.empty()) os << "jitkey " << d.jit_key << "\n";
     for (const auto& [sz, tree] : d.trees) {
       os << "tree " << sz << " " << serialize_ruletree(tree) << "\n";
     }
@@ -127,6 +128,20 @@ bool parse_text(const std::string& text, std::vector<PlanDescriptor>& out,
         if (!err.empty()) return fail(err);
       }
       open = std::move(d);
+      continue;
+    }
+    if (toks[0] == "jitkey") {
+      if (!open) return fail("'jitkey' outside of a plan block");
+      if (toks.size() != 2) return fail("'jitkey' needs exactly one value");
+      const std::string& key = toks[1];
+      const bool hex = key.size() <= 64 &&
+                       key.find_first_not_of("0123456789abcdef") ==
+                           std::string::npos;
+      if (key.empty() || !hex) {
+        return fail("'jitkey' value must be a lowercase hex string");
+      }
+      if (!open->jit_key.empty()) return fail("duplicate 'jitkey'");
+      open->jit_key = key;
       continue;
     }
     if (toks[0] == "tree") {

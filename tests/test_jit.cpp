@@ -1,0 +1,383 @@
+// Tests for the JIT plan-compilation subsystem: the compile/cache/load
+// pipeline, the fingerprint and cache-key functions, the compile-once
+// guarantee, every failure path of the reliability ladder (a JIT problem
+// must never make a plan crash or miscompute — the fused interpreter
+// always backs it up), the first-execution parity gate, and the wisdom
+// round-trip of the cache key.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "backend/lower.hpp"
+#include "backend/program.hpp"
+#include "core/spiral_fft.hpp"
+#include "jit/cache.hpp"
+#include "jit/jit.hpp"
+#include "jit/runtime.hpp"
+#include "rewrite/expand.hpp"
+#include "rewrite/multicore_fft.hpp"
+#include "test_helpers.hpp"
+#include "wisdom/wisdom.hpp"
+
+namespace spiral {
+namespace {
+
+namespace fs = std::filesystem;
+using spiral::testing::fft_tolerance;
+using spiral::testing::max_diff;
+using spiral::testing::reference_dft;
+
+/// Each test gets a private cache directory so stats and disk contents
+/// are deterministic regardless of what other tests (or the developer's
+/// real cache) hold.
+class JitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/spiral-jit-test-XXXXXX";
+    char* dir = ::mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+    cache_dir_ = dir;
+    jit::reset_stats();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(cache_dir_, ec);
+  }
+
+  /// Planner options requesting the JIT against the private cache.
+  [[nodiscard]] core::PlannerOptions jit_options(int threads = 1) const {
+    core::PlannerOptions opt;
+    opt.threads = threads;
+    opt.jit = true;
+    opt.jit_options.cache_dir = cache_dir_;
+    return opt;
+  }
+
+  std::string cache_dir_;
+};
+
+bool compiler_available() { return !jit::resolve_compiler({}).empty(); }
+
+TEST_F(JitTest, CompileAndExecuteMatchesReference) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  const idx_t n = 256;
+  auto plan = core::plan_dft(n, jit_options());
+  ASSERT_TRUE(plan->jit_report().ok()) << plan->jit_report().to_string();
+  EXPECT_FALSE(plan->jit_report().cache_hit) << "fresh dir cannot hit";
+  EXPECT_FALSE(plan->jit_report().cache_key.empty());
+
+  util::Rng rng(7);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  plan->execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n));
+  EXPECT_TRUE(plan->jit_active())
+      << "parity gate demoted the plan: " << plan->jit_runtime_diag();
+}
+
+TEST_F(JitTest, ThreadedProgramCompilesAndMatches) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  const idx_t n = 4096;
+  auto plan = core::plan_dft(n, jit_options(/*threads=*/4));
+  ASSERT_TRUE(plan->jit_report().ok()) << plan->jit_report().to_string();
+
+  util::Rng rng(8);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  // Execute twice: the first run crosses the parity gate, the second
+  // takes the steady-state native path.
+  plan->execute(x.data(), y.data());
+  plan->execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n));
+  EXPECT_TRUE(plan->jit_active()) << plan->jit_runtime_diag();
+}
+
+TEST_F(JitTest, InPlaceExecutionSurvivesJit) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  const idx_t n = 128;
+  auto plan = core::plan_dft(n, jit_options());
+  ASSERT_TRUE(plan->jit_report().ok());
+  util::Rng rng(9);
+  auto x = rng.complex_signal(n);
+  const auto want = reference_dft(x);
+  plan->execute(x.data(), x.data());  // x == y
+  EXPECT_LT(max_diff(x, want), fft_tolerance(n));
+}
+
+// The acceptance sweep: 2^4..2^16, p in {1, 2, 4}; every JIT'd plan must
+// agree with the reference and survive the parity gate, and re-planning
+// the same request must not re-invoke the compiler. Above 2^12 the
+// O(n^2) direct summation is replaced by an interpreter plan as the
+// reference — the interpreter's own correctness is covered elsewhere,
+// and the parity gate has already compared the native code against it
+// point for point.
+TEST_F(JitTest, ParitySweepAndReplanHitsCache) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  for (int logn = 4; logn <= 16; ++logn) {
+    const idx_t n = idx_t{1} << logn;
+    for (int p : {1, 2, 4}) {
+      auto plan = core::plan_dft(n, jit_options(p));
+      ASSERT_TRUE(plan->jit_report().ok())
+          << "n=" << n << " p=" << p << ": "
+          << plan->jit_report().to_string();
+      util::Rng rng(static_cast<std::uint64_t>(n) + p);
+      const auto x = rng.complex_signal(n);
+      util::cvec y(x.size());
+      plan->execute(x.data(), y.data());
+      if (n <= 4096) {
+        EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n))
+            << "n=" << n << " p=" << p;
+      } else {
+        core::PlannerOptions interp_opt;
+        interp_opt.threads = p;
+        auto interp = core::plan_dft(n, interp_opt);
+        util::cvec want(x.size());
+        interp->execute(x.data(), want.data());
+        EXPECT_LT(max_diff(y, want), fft_tolerance(n))
+            << "n=" << n << " p=" << p;
+      }
+      EXPECT_TRUE(plan->jit_active())
+          << "n=" << n << " p=" << p << ": " << plan->jit_runtime_diag();
+    }
+  }
+  // Re-planning any request in the sweep is a pure cache hit.
+  const jit::Stats before = jit::stats();
+  auto replan = core::plan_dft(idx_t{1} << 12, jit_options(4));
+  ASSERT_TRUE(replan->jit_report().ok());
+  EXPECT_TRUE(replan->jit_report().cache_hit);
+  EXPECT_EQ(jit::stats().compiles, before.compiles)
+      << "re-planning must not re-invoke the compiler";
+}
+
+TEST_F(JitTest, CompileExactlyOncePerProgram) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  const idx_t n = 512;
+  {
+    auto a = core::plan_dft(n, jit_options());
+    ASSERT_TRUE(a->jit_report().ok());
+    EXPECT_EQ(jit::stats().compiles, 1u);
+    // Second plan of the same program while the first is alive: served
+    // from the in-process module registry, no compile, no load.
+    auto b = core::plan_dft(n, jit_options());
+    ASSERT_TRUE(b->jit_report().ok());
+    EXPECT_TRUE(b->jit_report().cache_hit);
+    EXPECT_EQ(jit::stats().compiles, 1u);
+    EXPECT_EQ(a->jit_report().cache_key, b->jit_report().cache_key);
+  }
+  // Both plans (and their shared module) are gone; a third plan must be
+  // served from disk — a dlopen but still no compile.
+  const jit::Stats before = jit::stats();
+  auto c = core::plan_dft(n, jit_options());
+  ASSERT_TRUE(c->jit_report().ok());
+  EXPECT_TRUE(c->jit_report().cache_hit);
+  EXPECT_EQ(jit::stats().compiles, before.compiles);
+  EXPECT_GT(jit::stats().loads, before.loads);
+
+  util::Rng rng(11);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  c->execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n));
+}
+
+// ---------------------------------------------------------------------------
+// Failure ladder: every rung falls back to the interpreter with a typed
+// diagnostic; the plan keeps computing correct answers.
+// ---------------------------------------------------------------------------
+
+void expect_interpreter_fallback(core::FftPlan& plan, jit::JitStatus want) {
+  EXPECT_EQ(plan.jit_report().status, want)
+      << "got: " << plan.jit_report().to_string();
+  EXPECT_FALSE(plan.jit_active());
+  const idx_t n = plan.size();
+  util::Rng rng(13);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  plan.execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n))
+      << "fallback interpreter must still be correct";
+}
+
+TEST_F(JitTest, MissingCompilerFallsBack) {
+  auto opt = jit_options();
+  opt.jit_options.compiler = "/nonexistent/bin/definitely-not-a-cc";
+  auto plan = core::plan_dft(256, opt);
+  expect_interpreter_fallback(*plan, jit::JitStatus::kNoCompiler);
+}
+
+TEST_F(JitTest, CompileErrorFallsBack) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  auto opt = jit_options();
+  opt.jit_options.extra_cflags = "--definitely-not-a-real-flag";
+  auto plan = core::plan_dft(256, opt);
+  expect_interpreter_fallback(*plan, jit::JitStatus::kCompileFailed);
+  EXPECT_FALSE(plan->jit_report().message.empty())
+      << "compiler stderr excerpt expected";
+}
+
+TEST_F(JitTest, CorruptCacheEntryEvictedAndRecompiled) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  const idx_t n = 256;
+  std::string key;
+  {
+    auto warm = core::plan_dft(n, jit_options());
+    ASSERT_TRUE(warm->jit_report().ok());
+    key = warm->jit_report().cache_key;
+  }
+  // Overwrite the cached object with junk: the dlopen on the next plan's
+  // disk hit must fail, evict the entry, and recompile transparently.
+  const jit::DiskCache cache(cache_dir_, std::uint64_t{256} << 20);
+  ASSERT_TRUE(cache.ok());
+  {
+    std::ofstream out(cache.so_path(key), std::ios::trunc);
+    out << "this is not a shared object";
+  }
+  const jit::Stats before = jit::stats();
+  auto plan = core::plan_dft(n, jit_options());
+  ASSERT_TRUE(plan->jit_report().ok())
+      << plan->jit_report().to_string();
+  EXPECT_FALSE(plan->jit_report().cache_hit);
+  EXPECT_FALSE(plan->jit_report().notes.empty())
+      << "eviction of the corrupt entry should be noted";
+  EXPECT_GT(jit::stats().compiles, before.compiles);
+  EXPECT_GT(jit::stats().load_failures, before.load_failures);
+
+  util::Rng rng(17);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  plan->execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n));
+}
+
+TEST_F(JitTest, DlopenFailureWithoutCompilerFallsBack) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  const idx_t n = 256;
+  std::string key;
+  {
+    auto warm = core::plan_dft(n, jit_options());
+    ASSERT_TRUE(warm->jit_report().ok());
+    key = warm->jit_report().cache_key;
+  }
+  // Corrupt the entry under the *same* key the broken-compiler options
+  // resolve to is impossible (the compiler fingerprint differs), so
+  // corrupt every entry: the pipeline must fail the dlopen, then fail to
+  // recompile, and still hand back a working interpreter plan.
+  const jit::DiskCache cache(cache_dir_, std::uint64_t{256} << 20);
+  ASSERT_TRUE(cache.ok());
+  for (const auto& e : fs::directory_iterator(cache_dir_)) {
+    if (e.path().extension() == ".so") {
+      std::ofstream out(e.path(), std::ios::trunc);
+      out << "junk";
+    }
+  }
+  auto opt = jit_options();
+  opt.jit_options.extra_cflags = "--definitely-not-a-real-flag";
+  auto plan = core::plan_dft(n, opt);
+  expect_interpreter_fallback(*plan, jit::JitStatus::kCompileFailed);
+}
+
+TEST_F(JitTest, UnusableCacheDirReportsCacheFailed) {
+  auto opt = jit_options();
+  opt.jit_options.cache_dir = "/proc/definitely/not/writable";
+  auto plan = core::plan_dft(256, opt);
+  expect_interpreter_fallback(*plan, jit::JitStatus::kCacheFailed);
+}
+
+// The parity gate itself: install a native function that computes the
+// wrong answer and watch the gate demote the program while returning the
+// interpreter's (correct) result on the very first call.
+TEST(JitParityGate, DemotesWrongNativeCode) {
+  const idx_t n = 64;
+  auto f = rewrite::derive_multicore_ct(n, 8, 1, 2);
+  auto list = backend::lower_fused(rewrite::expand_dfts_balanced(f));
+  backend::Program prog(std::move(list), backend::ExecPolicy::kSequential);
+  prog.install_jit(
+      [](const double* x, double* y, double*, double*) {
+        for (idx_t i = 0; i < 2 * 64; ++i) y[i] = x[i] + 1.0;  // nonsense
+      },
+      /*verify_first=*/true);
+  EXPECT_TRUE(prog.jit_installed());
+
+  util::Rng rng(19);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  prog.execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n))
+      << "the gate must return the interpreter's answer on mismatch";
+  EXPECT_FALSE(prog.jit_active()) << "wrong native code must be demoted";
+  EXPECT_FALSE(prog.jit_runtime_diag().empty());
+
+  // Subsequent executions stay on the interpreter.
+  prog.execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n));
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints and cache keys
+// ---------------------------------------------------------------------------
+
+backend::StageList lowered_dft(idx_t n) {
+  auto f = rewrite::derive_multicore_ct(
+      n, idx_t{1} << (util::log2_exact(n) / 2), 1, 2);
+  return backend::lower_fused(rewrite::expand_dfts_balanced(f));
+}
+
+TEST(JitFingerprint, StableAndDiscriminating) {
+  const auto a = jit::program_fingerprint(lowered_dft(256));
+  const auto b = jit::program_fingerprint(lowered_dft(256));
+  EXPECT_EQ(a, b) << "same program must hash identically";
+  EXPECT_NE(a, jit::program_fingerprint(lowered_dft(512)))
+      << "different programs must not collide";
+}
+
+TEST(JitFingerprint, CacheKeyDependsOnFlags) {
+  const auto list = lowered_dft(256);
+  jit::Options plain;
+  jit::Options flagged;
+  flagged.extra_cflags = "-O3";
+  const auto ka = jit::cache_key(list, plain);
+  const auto kb = jit::cache_key(list, flagged);
+  EXPECT_EQ(ka.size(), 16u);
+  EXPECT_NE(ka, kb) << "flags are part of the key";
+  for (char c : ka) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+        << "keys are lowercase hex";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wisdom integration
+// ---------------------------------------------------------------------------
+
+TEST_F(JitTest, WisdomRecordsAndRoundTripsJitKey) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  wisdom::PlanDescriptor d;
+  auto plan = core::plan_dft(256, jit_options(), &d);
+  ASSERT_TRUE(plan->jit_report().ok());
+  EXPECT_EQ(d.jit_key, plan->jit_report().cache_key)
+      << "the descriptor records the compiled object's key";
+
+  const std::string text = wisdom::to_text({d});
+  EXPECT_NE(text.find("jitkey " + d.jit_key), std::string::npos) << text;
+
+  std::vector<wisdom::PlanDescriptor> back;
+  std::string error;
+  ASSERT_TRUE(wisdom::parse_text(text, back, error)) << error;
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].jit_key, d.jit_key);
+}
+
+TEST(JitWisdom, NoKeyWithoutJit) {
+  wisdom::PlanDescriptor d;
+  auto plan = core::plan_dft(64, {}, &d);
+  EXPECT_EQ(plan->jit_report().status, jit::JitStatus::kDisabled);
+  EXPECT_TRUE(d.jit_key.empty());
+}
+
+}  // namespace
+}  // namespace spiral

@@ -10,6 +10,7 @@
 
 #include "rewrite/expand.hpp"
 #include "rewrite/multicore_fft.hpp"
+#include "rewrite/vec_rules.hpp"
 #include "spl/printer.hpp"
 #include "spl/properties.hpp"
 #include "test_helpers.hpp"
@@ -112,6 +113,62 @@ TEST(MulticoreFFT, DerivationTraceGolden) {
     EXPECT_EQ(trace[i].rule_name + " @ " + to_string(trace[i].position),
               golden[i])
         << "step " << i;
+  }
+}
+
+TEST(MulticoreFFT, TandemDerivationTraceGolden) {
+  // The "in tandem" composition of Section 3.2 as one golden snapshot:
+  // the smp half (derive (14) for N=64, m=8, p=2, mu=2 — identical to
+  // DerivationTraceGolden above) followed by the vec half (vectorizing
+  // the per-processor blocks at nu=2). Positions in the vec half are
+  // relative to each tagged block, so this pins down both *which* blocks
+  // get vectorized and the exact rewriting inside each.
+  Trace smp;
+  auto f = derive_multicore_ct(64, 8, 2, 2, &smp);
+  Trace vec;
+  (void)vectorize_parallel_blocks(f, 2, &vec);
+  const std::vector<std::string> golden_smp = {
+      "smp-6-compose @ .",
+      "smp-7-tensor-tile @ 0",
+      "smp-10-perm-cacheline @ 0",
+      "smp-10-perm-cacheline @ 2",
+      "smp-11-diag-split @ 3",
+      "smp-9-tensor-chunk @ 4",
+      "smp-8-stride-perm @ 5",
+      "smp-9-tensor-chunk @ 5",
+      "smp-10-perm-cacheline @ 6",
+  };
+  const std::vector<std::string> golden_vec = {
+      "vec-5-tensor @ .",
+      "vec-6-commute @ .",
+      "vec-4-stride-split @ 0",
+      "vec-2-nested-stride @ 0",
+      "vec-3-perm-block @ 0",
+      "vec-shuffle-base @ 1",
+      "vec-3-perm-block @ 2",
+      "vec-5-tensor @ 3",
+      "vec-4-stride-split @ 4",
+      "vec-2-nested-stride @ 4",
+      "vec-3-perm-block @ 4",
+      "vec-shuffle-base @ 5",
+      "vec-3-perm-block @ 6",
+      "vec-4-stride-split @ .",
+      "vec-2-nested-stride @ 0",
+      "vec-3-perm-block @ 0",
+      "vec-shuffle-base @ 1",
+      "vec-3-perm-block @ 2",
+  };
+  ASSERT_EQ(smp.size(), golden_smp.size());
+  for (std::size_t i = 0; i < golden_smp.size(); ++i) {
+    EXPECT_EQ(smp[i].rule_name + " @ " + to_string(smp[i].position),
+              golden_smp[i])
+        << "smp step " << i;
+  }
+  ASSERT_EQ(vec.size(), golden_vec.size());
+  for (std::size_t i = 0; i < golden_vec.size(); ++i) {
+    EXPECT_EQ(vec[i].rule_name + " @ " + to_string(vec[i].position),
+              golden_vec[i])
+        << "vec step " << i;
   }
 }
 

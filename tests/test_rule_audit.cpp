@@ -168,6 +168,40 @@ TEST(Audit, DeadRuleMutantIsCaught) {
   EXPECT_TRUE(dead_flagged) << rep.to_string();
 }
 
+TEST(Audit, SpotChecksRunAboveExhaustiveCeiling) {
+  // Derivations larger than max_e2e_dense_n are not step-checked; the
+  // auditor must fall back to sampled dense spot-checks there instead of
+  // leaving the large-size regime unverified.
+  auto opt = quick();  // max_e2e_dense_n = 16 < corpus sizes <= 256
+  const auto rep = audit_rules(opt);
+  EXPECT_GT(rep.spot_checks, 0) << rep.to_string();
+  EXPECT_TRUE(rep.ok()) << errors_of(rep);
+
+  opt.spot_check_steps = 0;  // the knob really disables them
+  const auto off = audit_rules(opt);
+  EXPECT_EQ(off.spot_checks, 0);
+}
+
+TEST(Audit, SpotChecksCatchLargeSizeSemanticDrift) {
+  // Force every corpus derivation through the spot-check path (no
+  // exhaustive step checking at all) and seed the wrong-twiddle defect:
+  // the sampled intermediate states must expose the drift as corpus-level
+  // semantic-mismatch findings.
+  auto opt = quick();
+  opt.max_e2e_dense_n = 2;
+  const auto rep = audit_rule_sets(mutated_rule_sets("wrong-twiddle"), opt);
+  EXPECT_FALSE(rep.ok());
+  bool spot_caught = false;
+  for (const auto& f : rep.findings) {
+    if (f.kind == RuleDiag::kSemanticMismatch && f.rule == "<corpus>" &&
+        f.message.find("spot-check") != std::string::npos) {
+      spot_caught = true;
+    }
+  }
+  EXPECT_TRUE(spot_caught)
+      << "no spot-check finding in:\n" << rep.to_string();
+}
+
 TEST(Audit, UnknownMutantThrows) {
   EXPECT_THROW((void)mutated_rule_sets("no-such-mutant"),
                std::invalid_argument);

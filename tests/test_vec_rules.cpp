@@ -112,6 +112,46 @@ TEST(VecRules, TraceShowsRuleApplications) {
   EXPECT_TRUE(used("vec-shuffle-base"));
 }
 
+TEST(VecRules, DerivationTraceGolden) {
+  // Golden snapshot of the full vectorization of DFT_16 at nu=2: exact
+  // rule names, exact firing positions (child-index paths from the root,
+  // "." = root), exact order. A change to the vec rule set, its relative
+  // order, or the engine's traversal strategy diffs against this
+  // published derivation — the vec counterpart of the smp golden trace
+  // in test_rewrite_multicore.cpp.
+  Trace trace;
+  (void)vectorize(DFT(16), 2, &trace);
+  const std::vector<std::string> golden = {
+      "vec-8-dft-breakdown @ .",
+      "vec-1-compose @ .",
+      "vec-5-tensor @ 0",
+      "vec-7-diag @ 1",
+      "vec-6-commute @ 2",
+      "vec-4-stride-split @ 2",
+      "vec-2-nested-stride @ 2",
+      "vec-3-perm-block @ 2",
+      "vec-shuffle-base @ 3",
+      "vec-3-perm-block @ 4",
+      "vec-5-tensor @ 5",
+      "vec-4-stride-split @ 6",
+      "vec-2-nested-stride @ 6",
+      "vec-3-perm-block @ 6",
+      "vec-shuffle-base @ 7",
+      "vec-3-perm-block @ 8",
+      "vec-4-stride-split @ 9",
+      "vec-2-nested-stride @ 9",
+      "vec-3-perm-block @ 9",
+      "vec-shuffle-base @ 10",
+      "vec-3-perm-block @ 11",
+  };
+  ASSERT_EQ(trace.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(trace[i].rule_name + " @ " + to_string(trace[i].position),
+              golden[i])
+        << "step " << i;
+  }
+}
+
 TEST(VecRules, LoweredVectorizedProgramPassesStageAnalysis) {
   // The formula-level guarantee carries to the kernel IR: every stage of
   // the lowered vectorized program has vector width >= nu.

@@ -29,6 +29,8 @@
 //
 // Exit codes: 0 = all plans clean, 1 = findings reported, 2 = bad usage,
 // unreadable/corrupt input, or a plan that cannot be rebuilt at all.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -41,7 +43,9 @@
 #include "backend/lower.hpp"
 #include "core/spiral_fft.hpp"
 #include "machine/config.hpp"
+#include "spl/dense.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "wisdom/wisdom.hpp"
 
 namespace {
@@ -64,14 +68,48 @@ void usage() {
                " --no-load-balance\n"
                "       --mutate-affine[=D]  skew affine strides by D"
                " (mutation-testing the verifier)\n"
+               "       --mutate-twiddle     conjugate fused twiddle tables"
+               " (caught by --check-exec)\n"
+               "       --mutate-pingpong    reverse the executor's stage"
+               " walk (caught by --check-exec)\n"
+               "       --check-exec         also execute each plan against"
+               " its formula's dense matrix\n"
                "exit:  0 clean, 1 findings, 2 usage/corrupt input\n");
 }
 
-/// One linted plan: its display name and the verifier's report.
+/// One linted plan: its display name, the verifier's report, and (with
+/// --check-exec) the result of executing it against the dense semantics
+/// of its own formula.
 struct LintItem {
   std::string name;
   spiral::analysis::Report report;
+  bool exec_checked = false;
+  bool exec_ok = true;
+  double exec_err = 0.0;
 };
+
+/// Executes `plan` on a seeded random signal and compares against the
+/// dense matrix of the plan's formula. The formula is the spec the static
+/// verifier trusts, so value-level defects it cannot see — wrong twiddle
+/// tables, a reversed ping-pong walk — surface only here.
+void check_execution(const spiral::core::FftPlan& plan, LintItem* item) {
+  using namespace spiral;
+  item->exec_checked = true;
+  const idx_t n = plan.size();
+  util::Rng rng(util::kDefaultSeed ^ static_cast<std::uint64_t>(n));
+  const util::cvec x = rng.complex_signal(n);
+  const util::cvec want = spl::to_dense(plan.formula()).apply(x);
+  util::cvec got(n);
+  plan.execute(x.data(), got.data());
+  double err = 0.0;
+  double mag = 0.0;
+  for (idx_t i = 0; i < n; ++i) {
+    err = std::max(err, std::abs(got[i] - want[i]));
+    mag = std::max(mag, std::abs(want[i]));
+  }
+  item->exec_err = err;
+  item->exec_ok = err <= 1e-9 * std::max(1.0, mag);
+}
 
 /// --audit-rules: audit the rewriting system (optionally a mutant of it)
 /// and gate on error-severity findings.
@@ -163,6 +201,21 @@ int run(const spiral::util::CliArgs& args) {
     backend::set_affine_stride_mutation(
         static_cast<std::int32_t>(args.get_int("mutate-affine", 1)));
   }
+  if (args.has("mutate-twiddle")) {
+    // Conjugate every fused twiddle table during lowering. Structurally
+    // the program is untouched — the static verifier stays green — so
+    // only the execution-parity check below can catch it.
+    backend::set_twiddle_mutation(true);
+  }
+  if (args.has("mutate-pingpong")) {
+    // Walk the lowered stages in reverse order at execution time; again
+    // invisible to the static verifier, caught only by executing.
+    backend::set_pingpong_mutation(true);
+  }
+  // Value-level mutations imply the execution check that catches them.
+  const bool check_exec = args.has("check-exec") ||
+                          args.has("mutate-twiddle") ||
+                          args.has("mutate-pingpong");
 
   std::vector<LintItem> items;
 
@@ -199,6 +252,7 @@ int run(const spiral::util::CliArgs& args) {
         analysis::Options per_plan = vo;
         if (!args.has("mu") && !args.has("machine")) per_plan.mu = d.mu;
         item.report = analysis::verify(plan->stages(), per_plan);
+        if (check_exec) check_execution(*plan, &item);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "spiral-lint: cannot rebuild %s: %s\n",
                      item.name.c_str(), e.what());
@@ -259,6 +313,7 @@ int run(const spiral::util::CliArgs& args) {
     } else {
       item.report = analysis::verify(plan->stages(), vo);
     }
+    if (check_exec) check_execution(*plan, &item);
     items.push_back(std::move(item));
   } else {
     usage();
@@ -268,22 +323,31 @@ int run(const spiral::util::CliArgs& args) {
   std::size_t errors = 0;
   std::size_t warnings = 0;
   std::size_t dirty = 0;
+  std::size_t exec_fail = 0;
   for (const auto& item : items) {
     errors += item.report.error_count();
     warnings += item.report.warning_count();
-    if (!item.report.clean()) {
+    const bool bad_exec = item.exec_checked && !item.exec_ok;
+    if (bad_exec) ++exec_fail;
+    if (!item.report.clean() || bad_exec) {
       ++dirty;
       std::printf("FAIL %s\n", item.name.c_str());
+      if (bad_exec) {
+        std::printf("  execution parity: max deviation %.3e from the "
+                    "formula's dense semantics\n",
+                    item.exec_err);
+      }
       if (!quiet) {
         std::printf("%s", item.report.to_string().c_str());
       }
     } else if (!quiet) {
-      std::printf("ok   %s\n", item.name.c_str());
+      std::printf("ok   %s%s\n", item.name.c_str(),
+                  item.exec_checked ? " [exec parity ok]" : "");
     }
   }
   std::printf("spiral-lint: %zu plan(s), %zu with findings (%zu error(s), "
-              "%zu warning(s))\n",
-              items.size(), dirty, errors, warnings);
+              "%zu warning(s), %zu execution-parity failure(s))\n",
+              items.size(), dirty, errors, warnings, exec_fail);
   return dirty == 0 ? kExitClean : kExitFindings;
 }
 
