@@ -19,9 +19,12 @@
 #include <cstdio>
 #include <string>
 
+#include "analysis/locality.hpp"
 #include "bench_common.hpp"
 #include "core/spiral_fft.hpp"
 #include "jit/jit.hpp"
+#include "machine/config.hpp"
+#include "machine/simulator.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -36,7 +39,44 @@ struct Row {
   int k;
   idx_t n;
   double seconds;
+  // Static locality prediction vs simulator measurement (fused rows
+  // only; -1 = not computed). Committed to BENCH_executor.json so the
+  // model can be calibrated against these rows later.
+  std::int64_t pred_transfers = -1;
+  std::int64_t pred_mem_lines = -1;
+  double pred_seconds = -1.0;
+  std::int64_t sim_transfers = -1;
+  std::int64_t sim_mem_lines = -1;
 };
+
+/// Fills the prediction fields of a fused row: the static analyzer on
+/// the identical plan, plus the simulator's measured traffic as ground
+/// truth. The simulator replays every access, so the cross-check is
+/// capped at 2^14; the static prediction is cheap enough to run at
+/// every size.
+void predict_traffic(Row& r) {
+  core::PlannerOptions popt;
+  popt.threads = r.p;
+  popt.verify_lowering = false;
+  const auto plan = core::plan_dft(r.n, popt);
+  const auto mc = machine::generic_config(r.p, popt.cache_line_complex);
+  analysis::LocalityOptions lopt;
+  lopt.threads = r.p;
+  const auto rep = analysis::analyze_locality(plan->stages(), mc, lopt);
+  r.pred_transfers = rep.coherence_transfers;
+  r.pred_mem_lines = rep.pred_mem_lines;
+  r.pred_seconds = rep.pred_seconds;
+  if (r.k <= 14) {
+    machine::SimOptions sopt;
+    sopt.threads = r.p;
+    machine::Simulator sim(mc, sopt);
+    const auto sr = sim.run_steady(plan->stages());
+    r.sim_transfers = sr.coherence_transfers;
+    std::int64_t mem = 0;
+    for (const auto& ss : sr.per_stage) mem += ss.mem_lines;
+    r.sim_mem_lines = mem;
+  }
+}
 
 /// Wall-clock seconds per transform for one (policy, p, n) point. With
 /// `jit` the plan's executor is the natively compiled program (the
@@ -50,7 +90,7 @@ double measure(backend::ExecPolicy policy, int p, idx_t n, bool jit = false) {
   opt.jit = jit;
   auto plan = core::plan_dft(n, opt);
   if (jit && !plan->jit_report().ok()) return -1.0;
-  util::Rng rng(n);
+  util::Rng rng(static_cast<std::uint64_t>(n));
   const auto x = rng.complex_signal(n);
   util::cvec y(x.size());
   backend::ExecContext ctx;
@@ -115,6 +155,7 @@ int main(int argc, char** argv) {
         std::printf("%s,%d,%d,%lld,%.3e,%.1f\n", r.policy.c_str(), r.p, r.k,
                     static_cast<long long>(r.n), r.seconds,
                     util::pseudo_mflops(r.n, r.seconds));
+        if (r.policy == "fused") predict_traffic(r);
         rows.push_back(std::move(r));
       }
     }
@@ -138,6 +179,15 @@ int main(int argc, char** argv) {
     json.field("n", static_cast<std::int64_t>(r.n));
     json.field("seconds", r.seconds);
     json.field("pseudo_mflops", util::pseudo_mflops(r.n, r.seconds));
+    if (r.pred_transfers >= 0) {
+      json.field("pred_coherence_transfers", r.pred_transfers);
+      json.field("pred_mem_lines", r.pred_mem_lines);
+      json.field("pred_seconds", r.pred_seconds);
+    }
+    if (r.sim_transfers >= 0) {
+      json.field("sim_coherence_transfers", r.sim_transfers);
+      json.field("sim_mem_lines", r.sim_mem_lines);
+    }
     const Row* base = find("per-stage", r.p, r.k);
     if (r.policy == "fused" && base != nullptr) {
       const double speedup = base->seconds / r.seconds;

@@ -68,7 +68,7 @@ void run_real(int kmin, int kmax, int threads) {
   std::printf("machine,series,log2n,n,pseudo_mflops\n");
   for (int k = kmin; k <= kmax; ++k) {
     const idx_t n = idx_t{1} << k;
-    util::Rng rng(n);
+    util::Rng rng(static_cast<std::uint64_t>(n));
     const auto x = rng.complex_signal(n);
     util::cvec y(x.size());
 

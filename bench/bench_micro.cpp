@@ -18,7 +18,7 @@ using namespace spiral;
 
 void BM_Codelet(benchmark::State& state) {
   const idx_t n = state.range(0);
-  util::Rng rng(n);
+  util::Rng rng(static_cast<std::uint64_t>(n));
   const auto x = rng.complex_signal(n);
   util::cvec y(x.size());
   backend::CodeletIo io;
@@ -35,7 +35,7 @@ BENCHMARK(BM_Codelet)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 void BM_SpiralSequential(benchmark::State& state) {
   const idx_t n = idx_t{1} << state.range(0);
   auto plan = core::plan_dft(n);
-  util::Rng rng(n);
+  util::Rng rng(static_cast<std::uint64_t>(n));
   const auto x = rng.complex_signal(n);
   util::cvec y(x.size());
   for (auto _ : state) {
@@ -51,7 +51,7 @@ BENCHMARK(BM_SpiralSequential)->DenseRange(6, 16, 2);
 
 void BM_IterativeBaseline(benchmark::State& state) {
   const idx_t n = idx_t{1} << state.range(0);
-  util::Rng rng(n);
+  util::Rng rng(static_cast<std::uint64_t>(n));
   auto x = rng.complex_signal(n);
   for (auto _ : state) {
     auto y = x;
@@ -66,7 +66,7 @@ void BM_SpiralThreaded(benchmark::State& state) {
   core::PlannerOptions opt;
   opt.threads = 2;
   auto plan = core::plan_dft(n, opt);
-  util::Rng rng(n);
+  util::Rng rng(static_cast<std::uint64_t>(n));
   const auto x = rng.complex_signal(n);
   util::cvec y(x.size());
   for (auto _ : state) {

@@ -39,6 +39,7 @@ const char* to_string(RuleDiag d) {
     case RuleDiag::kResidualTag: return "residual-tag";
     case RuleDiag::kDeadRule: return "dead-rule";
     case RuleDiag::kNoInstantiation: return "no-instantiation";
+    case RuleDiag::kDomainViolation: return "domain-violation";
   }
   return "?";
 }
@@ -59,6 +60,7 @@ RuleSeverity severity_of(RuleDiag d) {
     case RuleDiag::kNonTermination:
     case RuleDiag::kNotFullyOptimized:
     case RuleDiag::kNoInstantiation:
+    case RuleDiag::kDomainViolation:
       return RuleSeverity::kError;
     case RuleDiag::kDeadRule:
       return RuleSeverity::kWarning;
@@ -76,6 +78,10 @@ std::vector<NamedRuleSet> registered_rule_sets() {
   // Audit-sized leaf so the grid instantiates the breakdowns at dense-
   // checkable sizes; the rule bodies are leaf-independent.
   sets.push_back({"breakdown", rewrite::breakdown_rules(/*leaf=*/4)});
+  // The six-step baseline (rule (3), Section 2.2) is audited as its own
+  // set: merged with "breakdown" the Cooley-Tukey rule would always
+  // outrun it and coverage would falsely flag it dead.
+  sets.push_back({"sixstep", rewrite::sixstep_rules(/*leaf=*/4)});
   return sets;
 }
 
@@ -267,6 +273,54 @@ std::string RuleAuditReport::to_string() const {
 }
 
 // ---------------------------------------------------------------------------
+// Measure domain invariants
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool contains_tag(const FormulaPtr& f) {
+  if (f->kind == Kind::kSmpTag || f->kind == Kind::kVecTag) return true;
+  for (const auto& c : f->children) {
+    if (contains_tag(c)) return true;
+  }
+  return false;
+}
+
+void domain_walk(const FormulaPtr& f, std::string* out) {
+  if (!out->empty()) return;
+  if (f->kind == Kind::kSmpTag) {
+    if (f->p < 2 || f->mu < 2) {
+      *out = "smp tag with p=" + std::to_string(f->p) + " mu=" +
+             std::to_string(f->mu) + " (p >= 2, mu >= 2 required)";
+      return;
+    }
+    if (contains_tag(f->child(0))) {
+      *out = "smp tag content is not tag-free (nested tag)";
+      return;
+    }
+  } else if (f->kind == Kind::kVecTag) {
+    if (f->mu < 2) {  // vec tags store nu in the mu slot
+      *out = "vec tag with nu=" + std::to_string(f->mu) +
+             " (nu >= 2 required)";
+      return;
+    }
+    if (contains_tag(f->child(0))) {
+      *out = "vec tag content is not tag-free (nested tag)";
+      return;
+    }
+  }
+  for (const auto& c : f->children) domain_walk(c, out);
+}
+
+}  // namespace
+
+std::string measure_domain_violation(const FormulaPtr& f) {
+  std::string out;
+  domain_walk(f, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Soundness grid
 // ---------------------------------------------------------------------------
 
@@ -392,6 +446,13 @@ std::vector<FormulaPtr> grid_candidates(const std::string& set_name) {
     c.push_back(WHT(16));
     c.push_back(WHT(32));
   }
+  if (set_name == "sixstep") {
+    // 8 and 32 force asymmetric balanced splits (m != k), the twiddle
+    // soundness witness for rule (3)'s D_{m,k}.
+    c.push_back(DFT(8));
+    c.push_back(DFT(16));
+    c.push_back(DFT(32));
+  }
   return c;
 }
 
@@ -488,6 +549,16 @@ void run_corpus_case(const CorpusCase& cc, const RuleAuditOptions& opt,
   spl::DenseMatrix cur_d;
   if (dense_steps) cur_d = spl::to_dense(cur);
   std::set<std::string> measure_blamed;
+  std::set<std::string> domain_blamed;
+  // The termination certificate is only valid inside the measure's
+  // domain (p, mu, nu >= 2, tag-free tag contents); machine-check that
+  // invariant on the start state and on every state the derivation
+  // visits, blaming the rule that produced the escape.
+  if (const std::string v = measure_domain_violation(cc.start); !v.empty()) {
+    domain_blamed.insert("<start>");
+    add_finding(rep, RuleDiag::kDomainViolation, "<corpus>",
+                cc.label + " start state: " + v);
+  }
   int step = 0;
   for (; step < opt.max_steps; ++step) {
     const Rule* fired = nullptr;
@@ -496,6 +567,12 @@ void run_corpus_case(const CorpusCase& cc, const RuleAuditOptions& opt,
     if (!next) break;
     ++rep->steps_checked;
     const std::string rule_name = fired != nullptr ? fired->name : "?";
+    if (const std::string v = measure_domain_violation(next);
+        !v.empty() && domain_blamed.insert(rule_name).second) {
+      add_finding(rep, RuleDiag::kDomainViolation, rule_name,
+                  cc.label + " step " + std::to_string(step) +
+                      ": state left the measure domain: " + v);
+    }
     const FormulaMeasure next_m = formula_measure(next);
     if (!measure_less(next_m, cur_m) &&
         measure_blamed.insert(rule_name).second) {
@@ -650,6 +727,14 @@ std::vector<CorpusCase> e2e_corpus(const std::vector<NamedRuleSet>& sets) {
     }
     cases.push_back({"e2e vec{L(32,4)}", vec_of(2, L(32, 4)), vec->rules,
                      true, 0, 0, 2});
+  }
+  if (const NamedRuleSet* six = find_set(sets, "sixstep"); six != nullptr) {
+    // 64 is exhaustively dense-stepped (asymmetric 8 x 8 -> 2 x 4
+    // splits); 256 runs the large-size spot-check path.
+    cases.push_back({"e2e sixstep DFT_64", DFT(64), six->rules, true, 0, 0,
+                     0});
+    cases.push_back({"e2e sixstep DFT_256", DFT(256), six->rules, true, 0,
+                     0, 0});
   }
   if (brk != nullptr) {
     cases.push_back({"e2e breakdown DFT_64", DFT(64), brk->rules, true, 0, 0,
@@ -829,10 +914,28 @@ Rule dead_rule() {
           }};
 }
 
+Rule domain_escape_rule() {
+  // Wraps a nonterminal smp content in a vec tag: semantically a no-op
+  // (tags are transparent), but the nested tag leaves the termination
+  // measure's validated domain. The guard (content must be a bare
+  // nonterminal) stops it refiring on its own output, so derivations
+  // still reach a fixpoint and the domain check is the only gate that
+  // can catch the escape.
+  return {"smp-retag", [](const FormulaPtr& f) -> FormulaPtr {
+            if (f->kind != Kind::kSmpTag) return nullptr;
+            const auto& c = f->child(0);
+            if (c->kind != Kind::kDFT && c->kind != Kind::kWHT) {
+              return nullptr;
+            }
+            return Builder::smp(f->p, f->mu, Builder::vec(2, c));
+          }};
+}
+
 }  // namespace
 
 std::vector<std::string> known_mutants() {
-  return {"wrong-twiddle", "nonterminating", "dead-rule"};
+  return {"wrong-twiddle", "nonterminating", "dead-rule",
+          "domain-violation"};
 }
 
 std::vector<NamedRuleSet> mutated_rule_sets(const std::string& mutant) {
@@ -859,9 +962,15 @@ std::vector<NamedRuleSet> mutated_rule_sets(const std::string& mutant) {
     smp->rules.push_back(dead_rule());
     return sets;
   }
+  if (mutant == "domain-violation") {
+    // First position: must outrun smp-dft-breakdown to the tagged
+    // nonterminal, or the escape never happens.
+    smp->rules.insert(smp->rules.begin(), domain_escape_rule());
+    return sets;
+  }
   throw std::invalid_argument("unknown rule mutant '" + mutant +
                               "'; known: wrong-twiddle, nonterminating, "
-                              "dead-rule");
+                              "dead-rule, domain-violation");
 }
 
 }  // namespace spiral::analysis

@@ -61,6 +61,7 @@ enum class RuleDiag {
   kResidualTag,        ///< shuffled-order fixpoint kept smp/vec tags
   kDeadRule,           ///< rule never fired across the fuzz + e2e corpus
   kNoInstantiation,    ///< fewer than min_instantiations grid matches
+  kDomainViolation,    ///< corpus state left the measure's validated domain
 };
 
 enum class RuleSeverity {
@@ -134,6 +135,16 @@ struct FormulaMeasure {
 
 [[nodiscard]] std::string to_string(const FormulaMeasure& m);
 
+/// Machine-check of the measure's validity domain (the "reachable state
+/// space" caveat above, made executable): every smp tag must carry
+/// p >= 2 and mu >= 2, every vec tag nu >= 2, and tag contents must be
+/// tag-free. Returns "" when f is inside the domain, otherwise a
+/// description of the first violation found. The corpus driver evaluates
+/// this on the start formula and on every intermediate state of every
+/// e2e/fuzz derivation; a violation is reported as kDomainViolation,
+/// because outside this domain the pencil termination proof says nothing.
+[[nodiscard]] std::string measure_domain_violation(const spl::FormulaPtr& f);
+
 // ---------------------------------------------------------------------------
 // Audit driver
 // ---------------------------------------------------------------------------
@@ -202,7 +213,9 @@ struct RuleAuditReport {
 /// audit must catch: "wrong-twiddle" (Cooley-Tukey with the twiddle
 /// diagonal parameters swapped — a semantic error), "nonterminating"
 /// (a growing rule that cycles with a simplification), "dead-rule" (a
-/// rule whose pattern never occurs).
+/// rule whose pattern never occurs), "domain-violation" (a rule that
+/// nests a vec tag inside an smp tag — semantically sound, but it leaves
+/// the termination measure's validated domain).
 [[nodiscard]] std::vector<std::string> known_mutants();
 
 /// registered_rule_sets() with the named mutation applied. Throws

@@ -41,9 +41,17 @@ rewrite::RuleTreeChooser make_chooser(const PlannerOptions& opt) {
     return [leaf](idx_t sz) { return rewrite::balanced_ruletree(sz, leaf); };
   }
   // DP autotuning over wall-clock time; the DpSearch memo is shared
-  // across all sizes requested by the expansion.
-  auto dp = std::make_shared<search::DpSearch>(search::walltime_cost(),
-                                               opt.leaf);
+  // across all sizes requested by the expansion. With model_prune_k the
+  // static locality model (priced for this machine's line length) ranks
+  // each candidate list first and only the top k get timed.
+  search::CostFn model;
+  if (opt.model_prune_k >= 1) {
+    model = search::locality_model_cost(
+        machine::generic_config(1, opt.cache_line_complex));
+  }
+  auto dp = std::make_shared<search::DpSearch>(
+      search::walltime_cost(), opt.leaf, std::move(model),
+      opt.model_prune_k);
   return [dp](idx_t sz) { return dp->best(sz).tree; };
 }
 

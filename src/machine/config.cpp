@@ -84,6 +84,20 @@ MachineConfig xeon_mp() {
   return m;
 }
 
+MachineConfig generic_config(int cores, idx_t mu) {
+  util::require(cores >= 1, "generic_config: cores >= 1");
+  util::require(mu >= 1 && util::is_pow2(mu),
+                "generic_config: mu must be a positive power of two");
+  MachineConfig m = opteron();
+  m.name = "generic" + std::to_string(cores) + "x" + std::to_string(mu);
+  m.description = "synthetic Opteron-like machine (" +
+                  std::to_string(cores) + " cores, mu=" +
+                  std::to_string(mu) + ")";
+  m.cores = cores;
+  m.line_bytes = 16 * mu;
+  return m;
+}
+
 MachineConfig machine_by_name(const std::string& name) {
   for (const auto& m : all_machines()) {
     if (m.name == name) return m;

@@ -78,6 +78,13 @@ struct MachineConfig {
 /// Throws std::invalid_argument for unknown names.
 [[nodiscard]] MachineConfig machine_by_name(const std::string& name);
 
+/// Synthetic Opteron-like machine with an arbitrary core count and cache
+/// line length of `mu` complex elements (line_bytes = 16 * mu). The paper
+/// machines top out at 4 cores; analyses and tests that sweep p in
+/// {2, 4, 8, ...} scale this one instead of inventing per-p configs.
+/// Requires cores >= 1 and mu a positive power of two.
+[[nodiscard]] MachineConfig generic_config(int cores, idx_t mu = 4);
+
 /// All four paper machines.
 [[nodiscard]] std::vector<MachineConfig> all_machines();
 

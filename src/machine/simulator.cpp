@@ -44,6 +44,7 @@ void Simulator::touch(int core, line_t line, bool write,
                       std::int64_t stage_id, double& cost, StageSim& ss,
                       SimResult& out) {
   ++out.accesses;
+  ++ss.accesses;
   LineState& st = dir_.state(line);
   if (st.last_writer != -1 && st.last_writer != core) {
     // Line is dirty in another core's cache: cache-to-cache transfer.

@@ -45,6 +45,7 @@ struct SimOptions {
 /// Per-stage simulation record.
 struct StageSim {
   double cycles = 0.0;
+  std::int64_t accesses = 0;
   std::int64_t l1_misses = 0;
   std::int64_t mem_lines = 0;  ///< lines transferred from memory
   std::int64_t coherence_transfers = 0;

@@ -73,6 +73,21 @@ RuleSet breakdown_rules(idx_t leaf) {
   return rules;
 }
 
+RuleSet sixstep_rules(idx_t leaf) {
+  RuleSet rules;
+  rules.push_back(Rule{
+      "dft-six-step-breakdown",
+      [leaf](const FormulaPtr& g) -> FormulaPtr {
+        if (g->kind != spl::Kind::kDFT || g->n <= leaf) return nullptr;
+        if (!util::is_pow2(g->n)) return nullptr;
+        const int k = util::log2_exact(g->n);
+        const idx_t m = idx_t{1} << (k / 2);
+        return six_step(m, g->n / m, g->root_sign);
+      },
+  });
+  return rules;
+}
+
 FormulaPtr expand_whts(const FormulaPtr& f, idx_t leaf) {
   // The DFT rule in the set never matches here by construction (expand_whts
   // is only called on WHT trees); sharing the set keeps one definition.

@@ -47,6 +47,16 @@ inline constexpr idx_t kMaxCodeletSize = 32;
 /// rule auditor (analysis/rule_audit) and the ruleset expand_whts runs.
 [[nodiscard]] RuleSet breakdown_rules(idx_t leaf = kMaxCodeletSize);
 
+/// The six-step rule (3) with its applicability guards packaged as a
+/// proper Rule: fires on DFT_n for 2-power n > leaf (so both factors of
+/// the balanced split satisfy m, k >= 2). Registered as the "sixstep"
+/// rule set with the rule auditor, so the baseline algorithm of
+/// Section 2.2 gets the same soundness / termination / coverage
+/// treatment as the Cooley-Tukey path the planner prefers. Kept separate
+/// from breakdown_rules: in one set the balanced Cooley-Tukey rule would
+/// always fire first and shadow this one into a false dead-rule finding.
+[[nodiscard]] RuleSet sixstep_rules(idx_t leaf = kMaxCodeletSize);
+
 // ---------------------------------------------------------------------------
 // Ruletrees
 // ---------------------------------------------------------------------------

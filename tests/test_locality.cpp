@@ -1,0 +1,330 @@
+// Cross-validation of the static locality analyzer (analysis/locality.hpp)
+// against the machine simulator: the directory-replay side must reproduce
+// Simulator's per-stage coherence-transfer and false-sharing counts
+// EXACTLY (they depend only on access order + line ownership, both of
+// which the analyzer replays), and the analytic miss model must land
+// within tolerance. Plus the schedule-sensitivity negatives: the analyzer
+// must notice a mu-ignorant block-cyclic schedule.
+#include <gtest/gtest.h>
+
+#include "analysis/locality.hpp"
+#include "backend/lower.hpp"
+#include "core/spiral_fft.hpp"
+#include "machine/config.hpp"
+#include "machine/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace spiral {
+namespace {
+
+using analysis::LocalityOptions;
+using analysis::LocalityReport;
+using backend::StageList;
+
+StageList planner_program(idx_t n, int p) {
+  core::PlannerOptions opt;
+  opt.threads = p;
+  opt.verify_lowering = false;
+  return backend::lower_fused(core::planner_formula(n, opt));
+}
+
+/// Sets the block-cyclic schedule on every parallel stage (what
+/// spiral-lint --mutate-schedule does). Returns #stages changed.
+int set_sched_block(StageList& list, idx_t b) {
+  int changed = 0;
+  for (auto& s : list.stages) {
+    if (s.parallel_p > 1) {
+      s.sched_block = b;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+/// Asserts the analyzer's exact counters equal the simulator's, stage by
+/// stage and in total, for one (program, machine, threads, passes) cell.
+void expect_exact(const StageList& list, const machine::MachineConfig& cfg,
+                  int threads, int passes, const std::string& what) {
+  machine::SimOptions so;
+  so.threads = threads;
+  machine::Simulator sim(cfg, so);
+  machine::SimResult sr;
+  for (int i = 0; i < passes; ++i) sr = sim.run(list);
+
+  LocalityOptions lo;
+  lo.threads = threads;
+  lo.passes = passes;
+  const LocalityReport rep = analysis::analyze_locality(list, cfg, lo);
+
+  ASSERT_EQ(rep.stages.size(), sr.per_stage.size()) << what;
+  std::int64_t sim_transfers = 0;
+  std::int64_t sim_fs = 0;
+  for (std::size_t i = 0; i < rep.stages.size(); ++i) {
+    const auto& a = rep.stages[i];
+    const auto& s = sr.per_stage[i];
+    EXPECT_EQ(a.parallel_used, s.parallel_used) << what << " stage " << i;
+    EXPECT_EQ(a.accesses, s.accesses) << what << " stage " << i;
+    EXPECT_EQ(a.coherence_transfers, s.coherence_transfers)
+        << what << " stage " << i;
+    EXPECT_EQ(a.false_sharing_events, s.false_sharing_events)
+        << what << " stage " << i;
+    sim_transfers += s.coherence_transfers;
+    sim_fs += s.false_sharing_events;
+  }
+  EXPECT_EQ(rep.coherence_transfers, sim_transfers) << what;
+  EXPECT_EQ(rep.false_sharing_events, sim_fs) << what;
+  EXPECT_EQ(rep.accesses, sr.accesses) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance sweep: exact transfer counts at 2^4..2^10 for p in {2,4,8},
+// for both the mu-aware contiguous schedule and mu-ignorant mutants,
+// steady-state and cold.
+
+TEST(LocalityExact, PlannerSweepSteadyState) {
+  for (int k = 4; k <= 10; ++k) {
+    for (int p : {2, 4, 8}) {
+      const idx_t n = idx_t{1} << k;
+      const auto cfg = machine::generic_config(p, 4);
+      const StageList list = planner_program(n, p);
+      expect_exact(list, cfg, p, 2,
+                   "n=2^" + std::to_string(k) + " p=" + std::to_string(p));
+    }
+  }
+}
+
+TEST(LocalityExact, ColdStartSinglePass) {
+  for (int k : {6, 8, 10}) {
+    for (int p : {2, 4, 8}) {
+      const idx_t n = idx_t{1} << k;
+      const auto cfg = machine::generic_config(p, 4);
+      const StageList list = planner_program(n, p);
+      expect_exact(list, cfg, p, 1,
+                   "cold n=2^" + std::to_string(k) + " p=" +
+                       std::to_string(p));
+    }
+  }
+}
+
+TEST(LocalityExact, ScheduleSweepIncludingFalseSharing) {
+  // Block-cyclic schedules (b < mu splits cache lines across threads)
+  // must match the simulator exactly too — these are the interesting
+  // cases, with nonzero false sharing.
+  for (int k : {6, 8, 10}) {
+    for (int p : {2, 4}) {
+      for (idx_t b : {idx_t{1}, idx_t{4}}) {
+        const idx_t n = idx_t{1} << k;
+        const auto cfg = machine::generic_config(p, 4);
+        StageList list = planner_program(n, p);
+        if (set_sched_block(list, b) == 0) continue;
+        expect_exact(list, cfg, p, 2,
+                     "b=" + std::to_string(b) + " n=2^" + std::to_string(k) +
+                         " p=" + std::to_string(p));
+      }
+    }
+  }
+}
+
+TEST(LocalityExact, PaperMachinesAndWiderLines) {
+  // Not just the synthetic machine: the shipped configs (mu=4) and a
+  // wide-line machine (mu=8) replay exactly as well.
+  const idx_t n = idx_t{1} << 9;
+  for (const auto& cfg :
+       {machine::core_duo(), machine::opteron(), machine::xeon_mp(),
+        machine::generic_config(4, 8)}) {
+    const StageList list = planner_program(n, cfg.cores);
+    expect_exact(list, cfg, cfg.cores, 2, "machine=" + cfg.name);
+  }
+}
+
+TEST(LocalityExact, LargeSizesStayExact) {
+  // The replay is exact by construction at any size; spot-check above the
+  // acceptance range so "within tolerance above 2^10" is an understatement.
+  for (int k : {12, 14}) {
+    const idx_t n = idx_t{1} << k;
+    const auto cfg = machine::generic_config(4, 4);
+    const StageList list = planner_program(n, 4);
+    expect_exact(list, cfg, 4, 2, "large n=2^" + std::to_string(k));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer semantics on good plans.
+
+TEST(LocalityReport, CleanPlansHaveUnitTrafficRatioAndNoFalseSharing) {
+  for (int k : {8, 10, 12}) {
+    for (int p : {2, 4}) {
+      const idx_t n = idx_t{1} << k;
+      const auto cfg = machine::generic_config(p, 4);
+      const StageList list = planner_program(n, p);
+      LocalityOptions lo;
+      lo.threads = p;
+      const LocalityReport rep = analysis::analyze_locality(list, cfg, lo);
+      EXPECT_EQ(rep.false_sharing_events, 0) << "n=2^" << k << " p=" << p;
+      // Every transferred line crosses exactly once per stage in steady
+      // state: the mu-aware contiguous schedule is Definition-1 optimal.
+      EXPECT_EQ(rep.coherence_transfers, rep.ideal_transfer_lines)
+          << "n=2^" << k << " p=" << p;
+      EXPECT_TRUE(rep.clean()) << rep.to_string();
+    }
+  }
+}
+
+TEST(LocalityReport, BlockCyclicScheduleIsFlaggedDirty) {
+  const idx_t n = idx_t{1} << 10;
+  const int p = 4;
+  const auto cfg = machine::generic_config(p, 4);
+  StageList list = planner_program(n, p);
+  ASSERT_GT(set_sched_block(list, 1), 0);
+  LocalityOptions lo;
+  lo.threads = p;
+  const LocalityReport rep = analysis::analyze_locality(list, cfg, lo);
+  EXPECT_GT(rep.false_sharing_events, 0);
+  EXPECT_GT(rep.multi_writer_lines, 0);
+  EXPECT_GT(rep.traffic_ratio(), 1.05);
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(LocalityReport, SequentialRunHasNoTransfers) {
+  const StageList list = planner_program(1 << 10, 1);
+  const auto cfg = machine::generic_config(1, 4);
+  const LocalityReport rep = analysis::analyze_locality(list, cfg, {});
+  EXPECT_EQ(rep.coherence_transfers, 0);
+  EXPECT_EQ(rep.false_sharing_events, 0);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_GT(rep.accesses, 0);
+}
+
+TEST(LocalityReport, ExchangeMatrixAccountsReadTransfers) {
+  const idx_t n = idx_t{1} << 10;
+  const int p = 4;
+  const auto cfg = machine::generic_config(p, 4);
+  const StageList list = planner_program(n, p);
+  LocalityOptions lo;
+  lo.threads = p;
+  const LocalityReport rep = analysis::analyze_locality(list, cfg, lo);
+  std::int64_t exchanged = 0;
+  std::int64_t diagonal = 0;
+  std::int64_t reads = 0;
+  for (const auto& s : rep.stages) {
+    reads += s.cross_read_lines;
+    for (int i = 0; i < cfg.cores; ++i) {
+      for (int j = 0; j < cfg.cores; ++j) {
+        const auto v =
+            s.exchange[static_cast<std::size_t>(i) *
+                           static_cast<std::size_t>(cfg.cores) +
+                       static_cast<std::size_t>(j)];
+        exchanged += v;
+        if (i == j) diagonal += v;
+      }
+    }
+  }
+  EXPECT_EQ(exchanged, reads);  // every read transfer is attributed
+  EXPECT_EQ(diagonal, 0);       // never to the producing thread itself
+  EXPECT_GT(exchanged, 0);      // multicore plans do exchange data
+}
+
+TEST(LocalityReport, FootprintsCoverTheTransform) {
+  const idx_t n = idx_t{1} << 10;
+  const auto cfg = machine::generic_config(4, 4);
+  const StageList list = planner_program(n, 4);
+  LocalityOptions lo;
+  lo.threads = 4;
+  const LocalityReport rep = analysis::analyze_locality(list, cfg, lo);
+  const idx_t lines = n / cfg.mu();
+  for (const auto& s : rep.stages) {
+    EXPECT_EQ(s.in_lines, lines) << s.label;   // reads the whole vector
+    EXPECT_EQ(s.out_lines, lines) << s.label;  // writes the whole vector
+    EXPECT_GE(s.max_thread_lines, s.min_thread_lines);
+    EXPECT_GT(s.min_thread_lines, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analytic model: tolerance-validated against the simulator.
+
+TEST(LocalityModel, PredictionsTrackSimulatorWithinTolerance) {
+  // The miss model is analytic (stack distances vs capacities), not a
+  // cache simulation — hold it to "right magnitude and right shape".
+  for (int k : {8, 12, 14}) {
+    const idx_t n = idx_t{1} << k;
+    const int p = 4;
+    const auto cfg = machine::generic_config(p, 4);
+    const StageList list = planner_program(n, p);
+
+    machine::SimOptions so;
+    so.threads = p;
+    const auto sr = machine::simulate(list, cfg, so);
+
+    LocalityOptions lo;
+    lo.threads = p;
+    const LocalityReport rep = analysis::analyze_locality(list, cfg, lo);
+
+    EXPECT_GT(rep.pred_cycles, 0.0);
+    // Cycles within 4x either way (barriers + flops anchor both sides).
+    EXPECT_LT(rep.pred_cycles, 4.0 * sr.cycles) << "n=2^" << k;
+    EXPECT_GT(rep.pred_cycles, sr.cycles / 4.0) << "n=2^" << k;
+  }
+}
+
+TEST(LocalityModel, OutOfCacheSizesPredictMemoryTraffic) {
+  // 2^18 complex doubles = 4 MB per buffer >> 1 MB L2: the model must
+  // predict real memory traffic, roughly the working set per stage.
+  const idx_t n = idx_t{1} << 18;
+  const auto cfg = machine::generic_config(4, 4);
+  const StageList list = planner_program(n, 4);
+  LocalityOptions lo;
+  lo.threads = 4;
+  const LocalityReport rep = analysis::analyze_locality(list, cfg, lo);
+  const auto lines = static_cast<std::int64_t>(n / cfg.mu());
+  // At least one full-vector stream per stage should be classified as
+  // memory-resident, and not absurdly more than in+out+twiddle per stage.
+  const auto S = static_cast<std::int64_t>(rep.stages.size());
+  EXPECT_GE(rep.pred_mem_lines, lines);
+  EXPECT_LE(rep.pred_mem_lines, 4 * S * lines);
+}
+
+TEST(LocalityModel, InCacheSizesPredictNoMemoryTraffic) {
+  // 2^8 elements = 4 KB working set << 64 KB L1: steady state should be
+  // (nearly) memory-silent.
+  const idx_t n = idx_t{1} << 8;
+  const auto cfg = machine::generic_config(2, 4);
+  const StageList list = planner_program(n, 2);
+  LocalityOptions lo;
+  lo.threads = 2;
+  const LocalityReport rep = analysis::analyze_locality(list, cfg, lo);
+  EXPECT_EQ(rep.pred_mem_lines, 0) << rep.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Report serialization.
+
+TEST(LocalityReport, JsonAndTextAreWellFormed) {
+  const StageList list = planner_program(1 << 8, 2);
+  const auto cfg = machine::generic_config(2, 4);
+  LocalityOptions lo;
+  lo.threads = 2;
+  const LocalityReport rep = analysis::analyze_locality(list, cfg, lo);
+  const std::string txt = rep.to_string();
+  EXPECT_NE(txt.find("coherence-transfers"), std::string::npos);
+  EXPECT_NE(txt.find("traffic-ratio"), std::string::npos);
+  const std::string js = rep.to_json();
+  EXPECT_EQ(js.front(), '{');
+  EXPECT_EQ(js.back(), '}');
+  EXPECT_NE(js.find("\"coherence_transfers\":"), std::string::npos);
+  EXPECT_NE(js.find("\"stages\":["), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check, no parser).
+  std::int64_t brace = 0;
+  std::int64_t brack = 0;
+  for (char c : js) {
+    brace += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brack += c == '[' ? 1 : c == ']' ? -1 : 0;
+    EXPECT_GE(brace, 0);
+    EXPECT_GE(brack, 0);
+  }
+  EXPECT_EQ(brace, 0);
+  EXPECT_EQ(brack, 0);
+}
+
+}  // namespace
+}  // namespace spiral

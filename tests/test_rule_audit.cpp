@@ -111,14 +111,69 @@ TEST(Measure, EveryShippedVecFiringDecreases) {
   EXPECT_LT(steps, 10000);
 }
 
+TEST(Domain, ReachableStatesAreInside) {
+  EXPECT_EQ(measure_domain_violation(DFT(64)), "");
+  EXPECT_EQ(measure_domain_violation(Builder::smp(2, 2, DFT(16))), "");
+  EXPECT_EQ(measure_domain_violation(Builder::smp(4, 4, WHT(64))), "");
+  EXPECT_EQ(measure_domain_violation(Builder::vec(2, DFT(16))), "");
+  EXPECT_EQ(measure_domain_violation(
+                Builder::tensor(I(2), Builder::smp(2, 2, L(16, 4)))),
+            "");
+}
+
+TEST(Domain, SmallTagParametersAreFlagged) {
+  // Builder::smp admits p, mu >= 1; the measure's proof does not.
+  EXPECT_NE(measure_domain_violation(Builder::smp(1, 2, DFT(16))), "");
+  EXPECT_NE(measure_domain_violation(Builder::smp(2, 1, DFT(16))), "");
+  EXPECT_NE(measure_domain_violation(Builder::smp(1, 1, DFT(16))), "");
+}
+
+TEST(Domain, NestedTagsAreFlagged) {
+  const auto smp_over_vec =
+      Builder::smp(2, 2, Builder::vec(2, DFT(16)));
+  EXPECT_NE(measure_domain_violation(smp_over_vec), "");
+  const auto vec_over_smp =
+      Builder::vec(2, Builder::smp(2, 2, DFT(16)));
+  EXPECT_NE(measure_domain_violation(vec_over_smp), "");
+  // Deep nesting (tag inside a compose inside a tag) is still caught.
+  const auto deep = Builder::smp(
+      2, 2,
+      Builder::compose({L(16, 4), Builder::vec(2, DFT(16))}));
+  EXPECT_NE(measure_domain_violation(deep), "");
+}
+
 TEST(Audit, RegisteredSetsAreComplete) {
   const auto sets = registered_rule_sets();
-  ASSERT_EQ(sets.size(), 4u);
+  ASSERT_EQ(sets.size(), 5u);
   EXPECT_EQ(sets[0].name, "simplify");
   EXPECT_EQ(sets[1].name, "smp");
   EXPECT_EQ(sets[2].name, "vec");
   EXPECT_EQ(sets[3].name, "breakdown");
+  EXPECT_EQ(sets[4].name, "sixstep");
   for (const auto& s : sets) EXPECT_FALSE(s.rules.empty());
+}
+
+TEST(Audit, SixStepRuleIsGuardedAndTerminates) {
+  // The rule (3) guards: no firing at or below the leaf, none on
+  // non-DFT nodes, and recursion bottoms out at codelet size.
+  const auto rules = rewrite::sixstep_rules(/*leaf=*/4);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].name, "dft-six-step-breakdown");
+  EXPECT_EQ(rules[0].try_apply(DFT(4)), nullptr);
+  EXPECT_EQ(rules[0].try_apply(WHT(64)), nullptr);
+  EXPECT_NE(rules[0].try_apply(DFT(8)), nullptr);
+  auto f = DFT(64);
+  auto m = formula_measure(f);
+  int steps = 0;
+  for (; steps < 1000; ++steps) {
+    auto next = rewrite::rewrite_step(f, rules);
+    if (!next) break;
+    auto next_m = formula_measure(next);
+    ASSERT_TRUE(measure_less(next_m, m)) << "step " << steps;
+    f = std::move(next);
+    m = std::move(next_m);
+  }
+  EXPECT_LT(steps, 1000);
 }
 
 TEST(Audit, ShippedRulesPassClean) {
@@ -166,6 +221,26 @@ TEST(Audit, DeadRuleMutantIsCaught) {
     }
   }
   EXPECT_TRUE(dead_flagged) << rep.to_string();
+}
+
+TEST(Audit, DomainViolationMutantIsCaught) {
+  // smp-retag nests a vec tag under the smp tag: dense-sound, so only
+  // the domain machine-check can convict it.
+  const auto rep =
+      audit_rule_sets(mutated_rule_sets("domain-violation"), quick());
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_error(rep, RuleDiag::kDomainViolation)) << errors_of(rep);
+  bool blamed = false;
+  for (const auto& f : rep.findings) {
+    if (f.kind == RuleDiag::kDomainViolation && f.rule == "smp-retag") {
+      blamed = true;
+    }
+  }
+  EXPECT_TRUE(blamed) << rep.to_string();
+  // The escape is semantically invisible: the dense checks must NOT fire
+  // (that would mean the mutant tests the wrong detector).
+  EXPECT_FALSE(has_error(rep, RuleDiag::kSemanticMismatch))
+      << errors_of(rep);
 }
 
 TEST(Audit, SpotChecksRunAboveExhaustiveCeiling) {

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/locality.hpp"
 #include "analysis/rule_audit.hpp"
 #include "analysis/verify.hpp"
 #include "backend/lower.hpp"
@@ -74,6 +75,16 @@ void usage() {
                " walk (caught by --check-exec)\n"
                "       --check-exec         also execute each plan against"
                " its formula's dense matrix\n"
+               "       --analyze-locality   static cache-traffic analysis"
+               " (analysis::locality); gates on\n"
+               "                            false sharing and"
+               " --max-traffic-ratio=X (default 1.05)\n"
+               "       --json               emit the locality reports as a"
+               " JSON array on stdout\n"
+               "       --mutate-schedule[=B] re-schedule parallel stages"
+               " block-cyclically (default B=1)\n"
+               "                            before the locality analysis"
+               " (implies --analyze-locality)\n"
                "exit:  0 clean, 1 findings, 2 usage/corrupt input\n");
 }
 
@@ -86,7 +97,46 @@ struct LintItem {
   bool exec_checked = false;
   bool exec_ok = true;
   double exec_err = 0.0;
+  bool locality_checked = false;
+  bool locality_ok = true;
+  spiral::analysis::LocalityReport locality;
 };
+
+/// Minimal JSON string escape for plan names (quotes and backslashes;
+/// names are ASCII CLI strings, nothing fancier occurs).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// --analyze-locality: runs the static cache-traffic analysis on `list`
+/// (optionally with the block-cyclic schedule mutation applied first) and
+/// gates on LocalityReport::clean(max_ratio).
+void check_locality(const spiral::backend::StageList& list, int threads,
+                    const spiral::machine::MachineConfig& cfg,
+                    double max_ratio, spiral::idx_t sched_mutation,
+                    LintItem* item) {
+  using namespace spiral;
+  analysis::LocalityOptions lo;
+  lo.threads = threads;
+  if (sched_mutation > 0) {
+    backend::StageList mutated = list;
+    for (auto& s : mutated.stages) {
+      if (s.parallel_p > 1) s.sched_block = sched_mutation;
+    }
+    item->name += " mutate-schedule=" + std::to_string(sched_mutation);
+    item->locality = analysis::analyze_locality(mutated, cfg, lo);
+  } else {
+    item->locality = analysis::analyze_locality(list, cfg, lo);
+  }
+  item->locality_checked = true;
+  item->locality_ok = item->locality.clean(max_ratio);
+}
 
 /// Executes `plan` on a seeded random signal and compares against the
 /// dense matrix of the plan's formula. The formula is the spec the static
@@ -99,11 +149,11 @@ void check_execution(const spiral::core::FftPlan& plan, LintItem* item) {
   util::Rng rng(util::kDefaultSeed ^ static_cast<std::uint64_t>(n));
   const util::cvec x = rng.complex_signal(n);
   const util::cvec want = spl::to_dense(plan.formula()).apply(x);
-  util::cvec got(n);
+  util::cvec got(static_cast<std::size_t>(n));
   plan.execute(x.data(), got.data());
   double err = 0.0;
   double mag = 0.0;
-  for (idx_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < got.size(); ++i) {
     err = std::max(err, std::abs(got[i] - want[i]));
     mag = std::max(mag, std::abs(want[i]));
   }
@@ -167,12 +217,29 @@ int run(const spiral::util::CliArgs& args) {
   vo.check_load_balance = !args.has("no-load-balance");
   const bool quiet = args.has("quiet");
 
+  // Locality analysis mode: a schedule mutation implies it (the gate
+  // exists to prove the analyzer notices the mutated schedule).
+  const bool analyze_locality =
+      args.has("analyze-locality") || args.has("mutate-schedule");
+  const idx_t sched_mutation =
+      args.has("mutate-schedule") ? args.get_int("mutate-schedule", 1) : 0;
+  const double max_traffic_ratio = args.get_double("max-traffic-ratio", 1.05);
+  const bool json = args.has("json");
+
+  // The machine model the locality analysis prices against. --machine
+  // selects a paper machine (full config); otherwise a synthetic config
+  // with the requested mu and as many cores as the plan has threads.
+  machine::MachineConfig lint_machine;
+  bool machine_named = false;
+
   if (args.has("machine")) {
     const std::string want = args.get("machine");
     bool found = false;
     for (const auto& cfg : machine::all_machines()) {
       if (cfg.name.find(want) != std::string::npos) {
         vo.mu = cfg.mu();
+        lint_machine = cfg;
+        machine_named = true;
         found = true;
         break;
       }
@@ -253,6 +320,14 @@ int run(const spiral::util::CliArgs& args) {
         if (!args.has("mu") && !args.has("machine")) per_plan.mu = d.mu;
         item.report = analysis::verify(plan->stages(), per_plan);
         if (check_exec) check_execution(*plan, &item);
+        if (analyze_locality) {
+          const auto cfg = machine_named
+                               ? lint_machine
+                               : machine::generic_config(
+                                     std::max(d.threads, 1), per_plan.mu);
+          check_locality(plan->stages(), std::max(d.threads, 1), cfg,
+                         max_traffic_ratio, sched_mutation, &item);
+        }
       } catch (const std::exception& e) {
         std::fprintf(stderr, "spiral-lint: cannot rebuild %s: %s\n",
                      item.name.c_str(), e.what());
@@ -314,6 +389,14 @@ int run(const spiral::util::CliArgs& args) {
       item.report = analysis::verify(plan->stages(), vo);
     }
     if (check_exec) check_execution(*plan, &item);
+    if (analyze_locality) {
+      const auto cfg =
+          machine_named ? lint_machine
+                        : machine::generic_config(
+                              std::max(base.threads, 1), vo.mu);
+      check_locality(plan->stages(), std::max(base.threads, 1), cfg,
+                     max_traffic_ratio, sched_mutation, &item);
+    }
     items.push_back(std::move(item));
   } else {
     usage();
@@ -324,12 +407,16 @@ int run(const spiral::util::CliArgs& args) {
   std::size_t warnings = 0;
   std::size_t dirty = 0;
   std::size_t exec_fail = 0;
+  std::size_t traffic_fail = 0;
   for (const auto& item : items) {
     errors += item.report.error_count();
     warnings += item.report.warning_count();
     const bool bad_exec = item.exec_checked && !item.exec_ok;
+    const bool bad_locality = item.locality_checked && !item.locality_ok;
     if (bad_exec) ++exec_fail;
-    if (!item.report.clean() || bad_exec) {
+    if (bad_locality) ++traffic_fail;
+    if (json) continue;  // reports go out as one JSON array below
+    if (!item.report.clean() || bad_exec || bad_locality) {
       ++dirty;
       std::printf("FAIL %s\n", item.name.c_str());
       if (bad_exec) {
@@ -337,17 +424,52 @@ int run(const spiral::util::CliArgs& args) {
                     "formula's dense semantics\n",
                     item.exec_err);
       }
+      if (bad_locality) {
+        std::printf("  locality: false-sharing=%lld traffic-ratio=%.3f "
+                    "(max %.3f)\n",
+                    static_cast<long long>(item.locality.false_sharing_events),
+                    item.locality.traffic_ratio(), max_traffic_ratio);
+      }
       if (!quiet) {
         std::printf("%s", item.report.to_string().c_str());
+        if (item.locality_checked) {
+          std::printf("%s", item.locality.to_string().c_str());
+        }
       }
     } else if (!quiet) {
-      std::printf("ok   %s%s\n", item.name.c_str(),
-                  item.exec_checked ? " [exec parity ok]" : "");
+      std::printf("ok   %s%s%s\n", item.name.c_str(),
+                  item.exec_checked ? " [exec parity ok]" : "",
+                  item.locality_checked ? " [locality clean]" : "");
+      if (item.locality_checked && analyze_locality) {
+        std::printf("%s", item.locality.to_string().c_str());
+      }
     }
   }
-  std::printf("spiral-lint: %zu plan(s), %zu with findings (%zu error(s), "
-              "%zu warning(s), %zu execution-parity failure(s))\n",
-              items.size(), dirty, errors, warnings, exec_fail);
+  if (json) {
+    // Machine-readable mode (CI artifact): one JSON array on stdout, the
+    // human summary on stderr. The verdict still gates the exit code.
+    std::printf("[");
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const auto& item = items[i];
+      const bool bad_exec = item.exec_checked && !item.exec_ok;
+      const bool bad_locality = item.locality_checked && !item.locality_ok;
+      const bool ok = item.report.clean() && !bad_exec && !bad_locality;
+      if (!ok) ++dirty;
+      std::printf("%s{\"name\":\"%s\",\"clean\":%s", i > 0 ? "," : "",
+                  json_escape(item.name).c_str(), ok ? "true" : "false");
+      if (item.locality_checked) {
+        std::printf(",\"locality\":%s", item.locality.to_json().c_str());
+      }
+      std::printf("}");
+    }
+    std::printf("]\n");
+  }
+  std::fprintf(json ? stderr : stdout,
+               "spiral-lint: %zu plan(s), %zu with findings (%zu error(s), "
+               "%zu warning(s), %zu execution-parity failure(s), %zu traffic "
+               "gate failure(s))\n",
+               items.size(), dirty, errors, warnings, exec_fail,
+               traffic_fail);
   return dirty == 0 ? kExitClean : kExitFindings;
 }
 
