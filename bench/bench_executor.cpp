@@ -1,7 +1,9 @@
 // Executor-dispatch ablation: fused single-fork execution (one
 // ThreadPool::run for the whole stage list, spin-barrier stage
 // transitions) vs the per-stage fork/join path it replaced vs OpenMP
-// parallel-for dispatch. Real wall-clock on the host CPU.
+// parallel-for dispatch vs the SIMD drivers (vectorized derivation,
+// lane-batched codelets) vs JIT-compiled native code. Real wall-clock
+// on the host CPU.
 //
 // The fused path crosses S+1 barriers per transform (pool dispatch, S-1
 // interior stage transitions, pool completion) where per-stage fork/join
@@ -20,6 +22,7 @@
 #include <string>
 
 #include "analysis/locality.hpp"
+#include "backend/simd.hpp"
 #include "bench_common.hpp"
 #include "core/spiral_fft.hpp"
 #include "jit/jit.hpp"
@@ -82,12 +85,14 @@ void predict_traffic(Row& r) {
 /// `jit` the plan's executor is the natively compiled program (the
 /// paper's deployment model); the row is skipped (returns < 0) when the
 /// compile fails, so the bench degrades instead of lying.
-double measure(backend::ExecPolicy policy, int p, idx_t n, bool jit = false) {
+double measure(backend::ExecPolicy policy, int p, idx_t n, bool jit = false,
+               idx_t simd_nu = 0) {
   core::PlannerOptions opt;
   opt.threads = p;
   opt.policy = policy;
   opt.verify_lowering = false;
   opt.jit = jit;
+  opt.vector_nu = simd_nu;
   auto plan = core::plan_dft(n, opt);
   if (jit && !plan->jit_report().ok()) return -1.0;
   util::Rng rng(static_cast<std::uint64_t>(n));
@@ -116,6 +121,7 @@ int main(int argc, char** argv) {
     backend::ExecPolicy policy;
     const char* name;
     bool jit = false;
+    idx_t simd_nu = 0;
   };
   std::vector<Policy> policies = {
       {backend::ExecPolicy::kThreadPool, "fused"},
@@ -123,6 +129,15 @@ int main(int argc, char** argv) {
   };
   if (backend::openmp_available()) {
     policies.push_back({backend::ExecPolicy::kOpenMP, "openmp"});
+  }
+  // Scalar-vs-SIMD: the lane-batched vector drivers (vectorized
+  // derivation + backend/simd) against the fused scalar interpreter.
+  if (backend::simd::detect_isa() != backend::simd::Isa::kScalar) {
+    policies.push_back(
+        {backend::ExecPolicy::kThreadPool, "simd", false, 4});
+  } else {
+    std::fprintf(stderr,
+                 "bench_executor: no vector ISA; skipping simd rows\n");
   }
   // Interpreter-vs-JIT: the natively compiled executor against the fused
   // interpreter it replaces, on identical plans.
@@ -137,7 +152,9 @@ int main(int argc, char** argv) {
   std::printf("policy,p,log2n,n,seconds,pseudo_mflops\n");
 
   std::vector<Row> rows;
-  for (int p : {2, 4, 8}) {
+  // p=1 gives the clean single-core numbers (no barrier or
+  // oversubscription noise) the scalar-vs-SIMD headline is read from.
+  for (int p : {1, 2, 4, 8}) {
     for (int k = kmin; k <= kmax; ++k) {
       const idx_t n = idx_t{1} << k;
       for (const auto& pol : policies) {
@@ -146,7 +163,7 @@ int main(int argc, char** argv) {
         r.p = p;
         r.k = k;
         r.n = n;
-        r.seconds = measure(pol.policy, p, n, pol.jit);
+        r.seconds = measure(pol.policy, p, n, pol.jit, pol.simd_nu);
         if (r.seconds < 0.0) {
           std::fprintf(stderr, "# %s p=%d n=%lld: jit unavailable, skipped\n",
                        r.policy.c_str(), p, static_cast<long long>(n));
@@ -196,8 +213,30 @@ int main(int argc, char** argv) {
       json.field("speedup_vs_per_stage", speedup);
     }
     const Row* interp = find("fused", r.p, r.k);
-    if (r.policy == "jit" && interp != nullptr) {
+    if ((r.policy == "jit" || r.policy == "simd") && interp != nullptr) {
       json.field("speedup_vs_interpreter", interp->seconds / r.seconds);
+    }
+    if (r.policy == "simd") {
+      json.field("isa", backend::simd::to_string(backend::simd::detect_isa()));
+    }
+  }
+
+  // Headline for the SIMD drivers: lane-batched execution against the
+  // fused scalar interpreter (the tentpole acceptance ratio).
+  {
+    bool header = false;
+    for (const auto& r : rows) {
+      if (r.policy != "simd") continue;
+      const Row* interp = find("fused", r.p, r.k);
+      if (interp == nullptr) continue;
+      if (!header) {
+        std::printf("\n# simd speedup over fused scalar interpreter"
+                    " (>1 = vector faster)\n");
+        std::printf("p,log2n,n,speedup\n");
+        header = true;
+      }
+      std::printf("%d,%d,%lld,%.2f\n", r.p, r.k, static_cast<long long>(r.n),
+                  interp->seconds / r.seconds);
     }
   }
 

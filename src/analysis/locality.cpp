@@ -95,12 +95,22 @@ class Fenwick {
   std::vector<std::int32_t> tree_;
 };
 
-/// True when the side walks lines sequentially (unit-stride elements,
-/// iteration-contiguous) — the pattern the simulator's prefetcher hides.
-bool side_streaming(bool affine, const backend::AffineMap& a, idx_t cn) {
+/// True when the side's misses form sequential line streams the
+/// hardware prefetcher absorbs. The simulator tracks 128 concurrent
+/// miss streams per core (machine/simulator.cpp), so this is not just
+/// the single contiguous walk: a codelet whose iteration stride is at
+/// most a line (0 or 1 new lines per iteration per lane) advances cn
+/// independent sequential streams — e.g. the stride-m twiddle stages
+/// DFT_cn o D, whose lanes sit m apart but each walk forward
+/// contiguously. cn is capped by the codelet table size (64), well
+/// under the tracker's capacity even with both sides plus twiddles
+/// live at once.
+bool side_streaming(bool affine, const backend::AffineMap& a, idx_t cn,
+                    idx_t mu_elems) {
   if (!affine) return false;
   if (cn == 1) return a.iter_stride == 1 || a.iter_stride == -1;
-  return a.elem_stride == 1 && a.iter_stride == cn;
+  if (a.elem_stride == 1 && a.iter_stride == cn) return true;  // one stream
+  return a.iter_stride >= 1 && a.iter_stride <= mu_elems;  // cn lane streams
 }
 
 }  // namespace
@@ -136,6 +146,14 @@ LocalityReport analyze_locality(const backend::StageList& program,
   // Running per-stage union footprints: prefix[id] = lines touched by all
   // stages with global id < id. Feeds the cross-stage reuse model.
   std::vector<std::int64_t> prefix{0};
+  // Same running sum over the worst single-thread footprint per stage:
+  // the volume competing for residency in one *private* cache. With a
+  // partitioned schedule each core re-touches only its own share, so
+  // judging private-cache reuse against the global union (prefix) calls
+  // lines "memory" that every core still holds — the simulator keeps
+  // them L2-resident. Taken from the replay's exact per-thread line
+  // counts, not a p-divided estimate.
+  std::vector<std::int64_t> prefix_core{0};
 
   // Per-thread scratch reused across stages.
   std::vector<idx_t> its;
@@ -210,10 +228,15 @@ LocalityReport analyze_locality(const backend::StageList& program,
       std::vector<double> model_cycles(static_cast<std::size_t>(p_eff),
                                        0.0);
       if (opt.predict && report_pass) {
+        // In-stage stack distances are measured per thread, so the
+        // effective L2 share is the whole cache when private and a
+        // 1/p_eff slice when shared.
         const std::int64_t cap2 =
             cfg.l2_shared && p_eff > 1 ? l2_lines / p_eff : l2_lines;
-        const bool in_stream = side_streaming(s.in_affine, s.in_aff, cn);
-        const bool out_stream = side_streaming(s.out_affine, s.out_aff, cn);
+        const bool in_stream =
+            side_streaming(s.in_affine, s.in_aff, cn, mu_elems);
+        const bool out_stream =
+            side_streaming(s.out_affine, s.out_aff, cn, mu_elems);
         const double iter_flop_cycles =
             cfg.flop_cycles *
             ((s.is_compute ? (s.wht ? backend::wht_codelet_flops(cn)
@@ -236,25 +259,34 @@ LocalityReport analyze_locality(const backend::StageList& program,
           if (owner != -1 && owner != t) return 3;
           // Lines touched since (inclusive of the producing stage): the
           // volume competing for cache residency across the barrier(s).
+          // Shared caches contend with every thread's lines (prefix);
+          // private caches only with their owner's share (prefix_core).
           auto vol_since = [&](std::int64_t since) {
             return prefix[static_cast<std::size_t>(stage_id)] -
                    prefix[static_cast<std::size_t>(since)];
           };
+          auto core_vol_since = [&](std::int64_t since) {
+            return prefix_core[static_cast<std::size_t>(stage_id)] -
+                   prefix_core[static_cast<std::size_t>(since)];
+          };
           const std::int32_t lt = R.last_touch_thread[li];
           if (lt == t) {
-            const std::int64_t vol = vol_since(ls);
+            const std::int64_t vol = core_vol_since(ls);  // L1 is private
             if (vol <= cap1) return 0;
-            if (cfg.l2_shared ? vol <= l2_lines : vol <= cap2) return 1;
+            if (cfg.l2_shared ? vol_since(ls) <= l2_lines
+                              : vol <= l2_lines) {
+              return 1;
+            }
             return 2;
           }
           // Last toucher is someone else. A transfer in between evicted
           // our L1 copy but not our private L2 one: if *we* touched the
           // line recently enough (previous-toucher slot), it is still L2
           // resident. Shared-L2 machines hold it for everyone regardless.
-          if (cfg.l2_shared && vol_since(ls) <= l2_lines) return 1;
+          if (cfg.l2_shared) return vol_since(ls) <= l2_lines ? 1 : 2;
           const std::int64_t ps = R.prev_touch_stage[li];
           if (ps >= 0 && R.prev_touch_thread[li] == t &&
-              vol_since(ps) <= cap2) {
+              core_vol_since(ps) <= l2_lines) {
             return 1;
           }
           return 2;
@@ -436,6 +468,7 @@ LocalityReport analyze_locality(const backend::StageList& program,
       const std::int64_t stage_union =
           sl.in_lines + sl.out_lines + sl.tw_lines;
       prefix.push_back(prefix.back() + stage_union);
+      prefix_core.push_back(prefix_core.back() + sl.max_thread_lines);
 
       if (opt.predict && report_pass) {
         double worst = 0.0;

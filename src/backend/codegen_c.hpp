@@ -27,7 +27,7 @@ namespace spiral::backend {
 /// any change to the shape of the generated code (ABI fields, loop
 /// structure, table layout, emission bug fixes) must bump this so stale
 /// cached objects can never be loaded by a newer library.
-inline constexpr int kCodegenVersion = 3;
+inline constexpr int kCodegenVersion = 4;
 
 /// ABI version of the `spiral_jit_program` descriptor emitted when
 /// CodegenOptions::jit_abi is set (see SpiralJitProgramV1 in src/jit/).
@@ -61,6 +61,15 @@ struct CodegenOptions {
   /// Program fingerprint recorded in the ABI descriptor (jit_abi only);
   /// the loader rejects objects whose fingerprint disagrees with the plan.
   std::uint64_t fingerprint = 0;
+  /// SIMD width in complex lanes (0 = scalar emission). Compute stages
+  /// whose fused maps prove the contiguous-lane shape
+  /// (kAcrossIterations on both sides) at this width are emitted as
+  /// GNU-C vector-extension bodies: split-lane complex registers,
+  /// broadcast-twiddle radix-2 network, one lane per iteration — the
+  /// same shapes the interpreter's backend/simd drivers execute. Other
+  /// stages keep the scalar emission. Requires a GNU-compatible C
+  /// compiler (gcc/clang); part of the JIT cache key.
+  idx_t simd_nu = 0;
 };
 
 /// Renders the stage list as a complete C source file.

@@ -132,6 +132,19 @@ void dft_direct_inplace(idx_t n, int sign, cplx* a) {
 
 }  // namespace
 
+CodeletTables codelet_tables(idx_t n, int sign) {
+  util::require(n >= 2 && n <= 64 && util::is_pow2(n),
+                "codelet tables need a 2-power size in [2, 64]");
+  const Pow2Tables& t = pow2_tables(n, sign);
+  CodeletTables out;
+  const int k = util::log2_exact(n);
+  for (int st = 0; st < k; ++st) {
+    out.stage_tw[st] = t.stage_tw[static_cast<std::size_t>(st)].data();
+  }
+  out.bitrev = t.bitrev.data();
+  return out;
+}
+
 void dft_codelet(idx_t n, int sign, const CodeletIo& io) {
   std::array<cplx, 64> buf;
   util::require(n >= 1 && n <= 64, "codelet size out of range");

@@ -47,6 +47,20 @@ void dft_codelet(idx_t n, int sign, const CodeletIo& io);
 /// self-inverse up to scaling) with the given addressing. n a power of 2.
 void wht_codelet(idx_t n, const CodeletIo& io);
 
+/// Read-only view of the radix-2 tables behind the power-of-two codelet
+/// network: the bit-reversal order and the per-stage butterfly twiddles.
+/// The SIMD layer broadcasts these scalar tables across its lanes, so
+/// scalar and vector codelets share one numeric source of truth.
+struct CodeletTables {
+  /// stage_tw[s] holds the 2^s twiddles of the size-2^(s+1) stage.
+  const cplx* stage_tw[6] = {};
+  const std::int32_t* bitrev = nullptr;
+};
+
+/// Tables for DFT_n (power-of-two n in [2, 64]). The returned pointers
+/// reference immutable process-lifetime statics.
+[[nodiscard]] CodeletTables codelet_tables(idx_t n, int sign);
+
 /// Real flop count of the codelet implementation for size n (used by the
 /// machine model; matches the actual arithmetic performed).
 [[nodiscard]] double codelet_flops(idx_t n);

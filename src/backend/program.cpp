@@ -45,9 +45,15 @@ Program::Program(StageList stages, ExecPolicy policy,
 
 namespace {
 
-/// Executes iterations [lo, hi) of a stage.
-void run_chunk(const Stage& s, const cplx* src, cplx* dst, idx_t lo,
-               idx_t hi) {
+/// Executes iterations [lo, hi) of a stage. `sp` is the stage's active
+/// SIMD plan or null; an active plan routes through the lane-batched
+/// vector drivers (scalar head/tail for unaligned chunk bounds).
+void run_chunk(const Stage& s, const simd::StagePlan* sp, const cplx* src,
+               cplx* dst, idx_t lo, idx_t hi) {
+  if (sp != nullptr) {
+    simd::run_stage_simd(s, *sp, src, dst, lo, hi);
+    return;
+  }
   if (s.is_compute) {
     const idx_t cn = s.cn;
     for (idx_t it = lo; it < hi; ++it) {
@@ -114,37 +120,38 @@ void run_chunk(const Stage& s, const cplx* src, cplx* dst, idx_t lo,
 
 /// Runs the iterations stage `s` assigns to `task` (of `tasks` threads):
 /// contiguous chunks by default, block-cyclic when sched_block > 0.
-void run_task(const Stage& s, const cplx* src, cplx* dst, idx_t task,
-              idx_t tasks) {
+void run_task(const Stage& s, const simd::StagePlan* sp, const cplx* src,
+              cplx* dst, idx_t task, idx_t tasks) {
   if (s.sched_block == 0) {
-    run_chunk(s, src, dst, task * s.iters / tasks,
+    run_chunk(s, sp, src, dst, task * s.iters / tasks,
               (task + 1) * s.iters / tasks);
     return;
   }
   const idx_t b = s.sched_block;
   for (idx_t base = task * b; base < s.iters; base += tasks * b) {
-    run_chunk(s, src, dst, base, std::min(base + b, s.iters));
+    run_chunk(s, sp, src, dst, base, std::min(base + b, s.iters));
   }
 }
 
 /// Runs the stage slice of pool participant `tid` (of `workers`): the
 /// stage's logical tasks are folded onto the available threads when the
 /// pool is smaller than parallel_p.
-void run_participant(const Stage& s, const cplx* src, cplx* dst, int tid,
-                     int workers) {
+void run_participant(const Stage& s, const simd::StagePlan* sp,
+                     const cplx* src, cplx* dst, int tid, int workers) {
   const idx_t tasks = std::max<idx_t>(s.parallel_p, workers);
   for (idx_t t = tid; t < tasks; t += workers) {
-    run_task(s, src, dst, t, tasks);
+    run_task(s, sp, src, dst, t, tasks);
   }
 }
 
 }  // namespace
 
-void Program::run_stage(const Stage& s, const cplx* src, cplx* dst,
+void Program::run_stage(const Stage& s, const simd::StagePlan* sp,
+                        const cplx* src, cplx* dst,
                         threading::ThreadPool* pool) const {
   const idx_t p = s.parallel_p;
   if (p <= 1 || policy_ == ExecPolicy::kSequential) {
-    run_chunk(s, src, dst, 0, s.iters);
+    run_chunk(s, sp, src, dst, 0, s.iters);
     return;
   }
   if (policy_ == ExecPolicy::kThreadPoolPerStage) {
@@ -152,7 +159,7 @@ void Program::run_stage(const Stage& s, const cplx* src, cplx* dst,
     pool->run([&](int task) {
       // When the pool has fewer threads than p, trailing logical tasks
       // are folded onto the existing threads.
-      run_participant(s, src, dst, task, pool->size());
+      run_participant(s, sp, src, dst, task, pool->size());
     });
     return;
   }
@@ -160,12 +167,12 @@ void Program::run_stage(const Stage& s, const cplx* src, cplx* dst,
   if (policy_ == ExecPolicy::kOpenMP) {
 #pragma omp parallel for num_threads(static_cast<int>(p)) schedule(static)
     for (idx_t t = 0; t < p; ++t) {
-      run_task(s, src, dst, t, p);
+      run_task(s, sp, src, dst, t, p);
     }
     return;
   }
 #endif
-  run_chunk(s, src, dst, 0, s.iters);
+  run_chunk(s, sp, src, dst, 0, s.iters);
 }
 
 void Program::execute_fused(ExecContext& ctx, const cplx* x, cplx* y,
@@ -193,7 +200,9 @@ void Program::execute_fused(ExecContext& ctx, const cplx* x, cplx* y,
     const cplx* src = first_src;
     int flip = 0;
     for (std::size_t k = st.size(); k-- > 0;) {
-      const Stage& s = st[g_pingpong_mutation ? st.size() - 1 - k : k];
+      const std::size_t si = g_pingpong_mutation ? st.size() - 1 - k : k;
+      const Stage& s = st[si];
+      const simd::StagePlan* sp = simd_plan_for(si);
       cplx* dst;
       if (k == 0) {
         dst = y;
@@ -204,9 +213,9 @@ void Program::execute_fused(ExecContext& ctx, const cplx* x, cplx* y,
       if (s.parallel_p <= 1) {
         // Sequential stage inside the parallel region: participant 0
         // runs it alone; the others go straight to the barrier.
-        if (tid == 0) run_chunk(s, src, dst, 0, s.iters);
+        if (tid == 0) run_chunk(s, sp, src, dst, 0, s.iters);
       } else {
-        run_participant(s, src, dst, tid, workers);
+        run_participant(s, sp, src, dst, tid, workers);
       }
       // A stage transition needs a barrier only when a worker could read
       // data another worker wrote: two adjacent participant-0-only stages
@@ -273,9 +282,23 @@ void Program::execute_interp(ExecContext& ctx, const cplx* x, cplx* y) const {
       dst = ctx.buf_[flip].data();
       flip ^= 1;
     }
-    run_stage(st[g_pingpong_mutation ? st.size() - 1 - k : k], src, dst, pool);
+    const std::size_t si = g_pingpong_mutation ? st.size() - 1 - k : k;
+    run_stage(st[si], simd_plan_for(si), src, dst, pool);
     src = dst;
   }
+}
+
+void Program::enable_simd(idx_t nu) {
+  simd_plans_.clear();
+  simd_on_ = false;
+  const simd::Isa isa = simd::detect_isa();
+  if (nu < 2 || isa == simd::Isa::kScalar) return;
+  simd_plans_.reserve(list_.stages.size());
+  for (const auto& s : list_.stages) {
+    simd_plans_.push_back(simd::plan_stage(s, nu, isa));
+    simd_on_ = simd_on_ || simd_plans_.back().active;
+  }
+  if (!simd_on_) simd_plans_.clear();
 }
 
 void Program::install_jit(JitFn fn, bool verify_first) {

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "backend/exec_context.hpp"
+#include "backend/simd.hpp"
 #include "backend/stage.hpp"
 #include "threading/thread_pool.hpp"
 
@@ -84,6 +85,23 @@ class Program {
   /// from single-caller code.
   void set_pool(threading::ThreadPool* pool) noexcept { pool_ = pool; }
 
+  /// Builds per-stage SIMD execution plans at widths up to `nu`
+  /// (backend/simd): stages whose fused index maps prove a short-vector
+  /// shape run through the lane-batched vector drivers, the rest stay on
+  /// the scalar codelets. A no-op when the host ISA is unavailable or
+  /// forced off (SPIRAL_SIMD=OFF). Call once, before the program is
+  /// shared across threads — it mutates the (otherwise immutable) plan
+  /// state.
+  void enable_simd(idx_t nu);
+
+  /// True when at least one stage will execute through a vector driver.
+  [[nodiscard]] bool simd_active() const noexcept { return simd_on_; }
+  /// Per-stage SIMD plans (empty unless enable_simd found work).
+  [[nodiscard]] const std::vector<simd::StagePlan>& simd_plans()
+      const noexcept {
+    return simd_plans_;
+  }
+
   [[nodiscard]] idx_t size() const noexcept { return list_.n; }
   [[nodiscard]] const StageList& stages() const noexcept { return list_; }
   [[nodiscard]] ExecPolicy policy() const noexcept { return policy_; }
@@ -124,8 +142,13 @@ class Program {
   static constexpr int kJitVerified = 1;
   static constexpr int kJitDemoted = 2;
 
-  void run_stage(const Stage& s, const cplx* src, cplx* dst,
-                 threading::ThreadPool* pool) const;
+  void run_stage(const Stage& s, const simd::StagePlan* sp, const cplx* src,
+                 cplx* dst, threading::ThreadPool* pool) const;
+  /// SIMD plan for stage index k, null when the stage runs scalar.
+  [[nodiscard]] const simd::StagePlan* simd_plan_for(std::size_t k) const {
+    if (simd_plans_.empty() || !simd_plans_[k].active) return nullptr;
+    return &simd_plans_[k];
+  }
   /// Fused dispatch: one pool fork for the whole stage list; workers
   /// synchronize between stages on the context's spin barrier and keep
   /// the ping-pong buffer pointers thread-local.
@@ -141,6 +164,8 @@ class Program {
   ExecPolicy policy_;
   threading::ThreadPool* pool_;
   int max_p_ = 1;
+  std::vector<simd::StagePlan> simd_plans_;  // one per stage when enabled
+  bool simd_on_ = false;
   ExecContext self_ctx_;  // backs the context-free execute()
 
   JitFn jit_fn_;

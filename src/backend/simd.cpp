@@ -1,0 +1,245 @@
+// Portable half of the SIMD layer: ISA detection (environment override +
+// CPU probe), per-stage planning, the scalar head/tail driver, and the
+// generic kernel variant. This TU is compiled WITHOUT target-specific -m
+// flags, so everything here — including the generic W=2/4/8 kernels,
+// which GCC lowers to baseline 128-bit (SSE2/NEON) instruction pairs —
+// is safe to execute on any supported CPU.
+#define SPIRAL_SIMD_VARIANT generic
+#include "backend/simd_kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace spiral::backend::simd {
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kVec128: return "vec128";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+idx_t isa_width(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return 1;
+    case Isa::kVec128: return 2;
+    case Isa::kAvx2: return 4;
+    case Isa::kAvx512: return 8;
+  }
+  return 1;
+}
+
+namespace {
+
+bool g_vecform_mutation = false;
+
+// -1 = no override; otherwise the forced Isa value (tests only).
+std::atomic<int> g_isa_override{-1};
+
+/// What the hardware can actually run (ignoring overrides).
+Isa host_isa() {
+#if defined(SPIRAL_SIMD_DISABLED)
+  return Isa::kScalar;
+#elif defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f")) return Isa::kAvx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Isa::kAvx2;
+  }
+  return Isa::kVec128;  // SSE2 is the x86-64 baseline
+#elif defined(__aarch64__)
+  return Isa::kVec128;  // NEON is architectural on AArch64
+#else
+  return Isa::kScalar;
+#endif
+}
+
+/// SPIRAL_SIMD environment cap, parsed once per process.
+Isa env_cap() {
+  const char* e = std::getenv("SPIRAL_SIMD");
+  if (e == nullptr || *e == '\0') return Isa::kAvx512;  // no cap
+  std::string v(e);
+  for (auto& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "off" || v == "0" || v == "scalar" || v == "none") {
+    return Isa::kScalar;
+  }
+  if (v == "128" || v == "sse2" || v == "neon") return Isa::kVec128;
+  if (v == "avx2" || v == "256") return Isa::kAvx2;
+  if (v == "avx512" || v == "512") return Isa::kAvx512;
+  return Isa::kAvx512;  // unrecognized: no cap
+}
+
+Isa clamp(Isa a, Isa cap) {
+  return static_cast<int>(a) <= static_cast<int>(cap) ? a : cap;
+}
+
+/// Picks the strongest variant TU that can serve `width` under `isa`.
+/// Narrow kernels still prefer the stronger TU when available: an AVX2
+/// build of the W=2 kernel uses VEX encodings and avoids SSE/AVX
+/// transition stalls next to the wider stages.
+PackFn resolve_pack_fn(idx_t width, Isa isa) {
+  if (static_cast<int>(isa) >= static_cast<int>(Isa::kAvx512)) {
+    if (PackFn f = pack_fn_avx512(width)) return f;
+  }
+  if (static_cast<int>(isa) >= static_cast<int>(Isa::kAvx2)) {
+    if (PackFn f = pack_fn_avx2(width)) return f;
+  }
+  if (static_cast<int>(isa) >= static_cast<int>(Isa::kVec128)) {
+    return pack_fn_generic(width);
+  }
+  return nullptr;
+}
+
+/// Scalar execution of iterations [lo, hi) — the head/tail path around
+/// the lane-batched middle. Mirrors the interpreter's per-iteration
+/// CodeletIo setup (backend/program.cpp run_chunk) for the stage shapes
+/// plan_stage accepts.
+void run_iterations_scalar(const Stage& s, const cplx* src, cplx* dst,
+                           idx_t lo, idx_t hi) {
+  if (s.is_compute) {
+    const idx_t cn = s.cn;
+    for (idx_t it = lo; it < hi; ++it) {
+      CodeletIo io;
+      if (s.in_affine) {
+        io.x = src + s.in_aff.base + it * s.in_aff.iter_stride;
+        io.in_stride = s.in_aff.elem_stride;
+      } else {
+        io.x = src;
+        io.in_map = s.in_map.data() + it * cn;
+      }
+      if (s.out_affine) {
+        io.y = dst + s.out_aff.base + it * s.out_aff.iter_stride;
+        io.out_stride = s.out_aff.elem_stride;
+      } else {
+        io.y = dst;
+        io.out_map = s.out_map.data() + it * cn;
+      }
+      io.in_scale = s.in_scale.empty() ? nullptr : s.in_scale.data() + it * cn;
+      io.out_scale =
+          s.out_scale.empty() ? nullptr : s.out_scale.data() + it * cn;
+      if (s.wht) {
+        wht_codelet(cn, io);
+      } else {
+        dft_codelet(cn, s.sign, io);
+      }
+    }
+    return;
+  }
+  // Pure data stage (cn == 1).
+  if (s.in_scale.empty()) {
+    for (idx_t j = lo; j < hi; ++j) {
+      dst[s.out_index(j, 0)] = src[s.in_index(j, 0)];
+    }
+  } else {
+    for (idx_t j = lo; j < hi; ++j) {
+      dst[s.out_index(j, 0)] =
+          s.in_scale[static_cast<std::size_t>(j)] * src[s.in_index(j, 0)];
+    }
+  }
+}
+
+/// Splits a fused scale table into pack-major split-lane layout:
+/// out_re/out_im[(pack*cn + l)*W + v] = scale[(pack*W + v)*cn + l].
+void split_scale(const util::cvec& scale, idx_t cn, idx_t w, util::dvec& out_re,
+                 util::dvec& out_im) {
+  if (scale.empty()) return;
+  const idx_t iters = static_cast<idx_t>(scale.size()) / cn;
+  const idx_t packs = iters / w;
+  out_re.resize(static_cast<std::size_t>(packs * cn * w));
+  out_im.resize(static_cast<std::size_t>(packs * cn * w));
+  for (idx_t pk = 0; pk < packs; ++pk) {
+    for (idx_t l = 0; l < cn; ++l) {
+      for (idx_t v = 0; v < w; ++v) {
+        const cplx z = scale[static_cast<std::size_t>((pk * w + v) * cn + l)];
+        const std::size_t at = static_cast<std::size_t>((pk * cn + l) * w + v);
+        out_re[at] = z.real();
+        out_im[at] = z.imag();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void set_vecform_mutation(bool enabled) noexcept {
+  g_vecform_mutation = enabled;
+}
+bool vecform_mutation() noexcept { return g_vecform_mutation; }
+
+void set_isa_override(Isa isa) noexcept {
+  // Clamped to what the process may actually dispatch: the hardware AND
+  // the SPIRAL_SIMD environment cap. The hook selects among permitted
+  // ISAs; it cannot re-enable a kill-switched build or host.
+  g_isa_override.store(
+      static_cast<int>(clamp(isa, clamp(host_isa(), env_cap()))),
+      std::memory_order_relaxed);
+}
+void clear_isa_override() noexcept {
+  g_isa_override.store(-1, std::memory_order_relaxed);
+}
+
+Isa detect_isa() {
+  const int forced = g_isa_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Isa>(forced);
+  static const Isa resolved = clamp(host_isa(), env_cap());
+  return resolved;
+}
+
+StagePlan plan_stage(const Stage& s, idx_t max_nu, Isa isa) {
+  StagePlan p;
+  if (max_nu < 2 || isa == Isa::kScalar || s.iters < 2) return p;
+  if (s.is_compute) {
+    // The vector network is the iterative radix-2 (plus the WHT
+    // butterflies); non-2-power codelets keep the scalar direct path.
+    if (!util::is_pow2(s.cn) || s.cn > 64) return p;
+  } else if (s.cn != 1) {
+    return p;
+  }
+  idx_t cap = std::min(isa_width(isa), max_nu);
+  while (cap > s.iters) cap /= 2;
+  if (cap < 2) return p;
+  const SideVecInfo sv = stage_vector_sides(s, cap);
+  if (sv.width < 2) return p;
+  p.width = sv.width;
+  p.in_form = sv.in;
+  p.out_form = sv.out;
+  if (g_vecform_mutation) {
+    // Seeded defect: report the register-transpose shape as the plain
+    // contiguous-lane shape. The driver then loads lanes at stride 1
+    // where the map puts them at stride W — wrong results by design.
+    if (p.in_form == VecForm::kStridedLanes) {
+      p.in_form = VecForm::kAcrossIterations;
+    }
+    if (p.out_form == VecForm::kStridedLanes) {
+      p.out_form = VecForm::kAcrossIterations;
+    }
+  }
+  p.fn = resolve_pack_fn(p.width, isa);
+  if (p.fn == nullptr) return StagePlan{};
+  split_scale(s.in_scale, s.cn, p.width, p.in_scale_re, p.in_scale_im);
+  split_scale(s.out_scale, s.cn, p.width, p.out_scale_re, p.out_scale_im);
+  p.active = true;
+  return p;
+}
+
+void run_stage_simd(const Stage& s, const StagePlan& plan, const cplx* src,
+                    cplx* dst, idx_t lo, idx_t hi) {
+  const idx_t w = plan.width;
+  // Packs are anchored at absolute multiples of w (the shape proofs and
+  // the split scale tables both assume it), so a chunk with unaligned
+  // bounds runs a scalar head/tail.
+  const idx_t a = std::min(((lo + w - 1) / w) * w, hi);
+  const idx_t b = std::max((hi / w) * w, a);
+  if (lo < a) run_iterations_scalar(s, src, dst, lo, a);
+  if (a < b) plan.fn(s, plan, src, dst, a, b);
+  if (b < hi) run_iterations_scalar(s, src, dst, b, hi);
+}
+
+PackFn pack_fn_generic(idx_t width) { return generic::pack_fn(width); }
+
+}  // namespace spiral::backend::simd

@@ -1,0 +1,117 @@
+// SIMD execution layer over the fused kernel IR.
+//
+// The vectorizability analysis (backend/vectorize) proves per-side lane
+// shapes on a stage's fused index maps; this module makes those proofs
+// executable. A stage whose input and output maps both prove one of the
+// short-vector forms at width W runs through a lane-batched driver: W
+// consecutive iterations become the W lanes of a vector register pair
+// (split-lane complex: separate re/im vectors), the whole radix-2
+// codelet network is evaluated with vector adds/muls and broadcast
+// twiddles, and the proven form selects the load/store addressing:
+//
+//   kAcrossIterations — lanes are contiguous in memory: one wide load
+//     plus a re/im deinterleave shuffle (the "A (x) I_nu" shape);
+//   kStridedLanes     — lanes sit W complex elements apart (the
+//     L^{nu^2}_nu register-transpose shape): per-lane strided moves
+//     whose addressing is derived FROM the proven stride;
+//   kWithinCodelet    — general per-lane addressing through the exact
+//     stage maps (arithmetic still vectorized across the lanes).
+//
+// The drivers trust only the recorded form — addressing is computed from
+// the form, not re-derived from the maps — so a wrong classification
+// produces wrong results and is caught by the execution-parity gates
+// (see set_vecform_mutation and the spiral-lint WILL_FAIL mutant).
+//
+// ISA dispatch is at runtime: kernels are instantiated from one shared
+// header (simd_kernels.hpp) into per-ISA translation units compiled with
+// the matching target flags (GCC/Clang vector extensions, so the same
+// source serves SSE2, AVX2, AVX-512 and NEON). All loads/stores go
+// through memcpy (unaligned-safe encodings, same speed on the 64 B
+// aligned buffers util::AlignedAllocator guarantees), so a vector driver
+// can never fault on alignment.
+#pragma once
+
+#include <vector>
+
+#include "backend/stage.hpp"
+#include "backend/vectorize.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace spiral::backend::simd {
+
+/// Instruction-set tiers the dispatcher distinguishes, in strength order.
+enum class Isa {
+  kScalar = 0,  ///< no vector driver (fallback / forced off)
+  kVec128 = 1,  ///< 128-bit: SSE2 / NEON, 2 complex lanes
+  kAvx2 = 2,    ///< 256-bit AVX2+FMA, 4 complex lanes
+  kAvx512 = 3,  ///< 512-bit AVX-512F, 8 complex lanes
+};
+
+[[nodiscard]] const char* to_string(Isa isa);
+
+/// Vector width in complex<double> lanes (1, 2, 4, 8).
+[[nodiscard]] idx_t isa_width(Isa isa);
+
+/// The best ISA the host supports, honouring the SPIRAL_SIMD environment
+/// override: "OFF"/"0"/"scalar" force kScalar, "128" caps at kVec128,
+/// "avx2" caps at kAvx2, "avx512" caps at kAvx512 (all clamped to what
+/// the CPU actually supports). The environment is read once per process.
+[[nodiscard]] Isa detect_isa();
+
+/// Test hook: force detect_isa() to report `isa` (clamped to host
+/// support) until clear_isa_override(). Not thread-safe against
+/// concurrent planning; tests only.
+void set_isa_override(Isa isa) noexcept;
+void clear_isa_override() noexcept;
+
+struct StagePlan;
+
+/// Variant kernel entry: runs iterations [it0, it1) of a stage (both
+/// multiples of the plan width) through the lane-batched driver.
+using PackFn = void (*)(const Stage&, const StagePlan&, const cplx*, cplx*,
+                        idx_t, idx_t);
+
+/// Per-stage execution plan: the proven per-side forms at the chosen
+/// width, the resolved kernel, and the fused scale tables re-laid-out in
+/// split-lane pack-major order ((pack*cn + l)*W + lane) so the hot loop
+/// loads them as plain vectors.
+struct StagePlan {
+  bool active = false;  ///< a vector driver will serve this stage
+  idx_t width = 1;      ///< lanes W (2-power >= 2 when active)
+  VecForm in_form = VecForm::kNone;
+  VecForm out_form = VecForm::kNone;
+  PackFn fn = nullptr;
+  util::dvec in_scale_re, in_scale_im;
+  util::dvec out_scale_re, out_scale_im;
+};
+
+/// Builds the execution plan for one stage at widths up to max_nu on the
+/// given ISA. Returns an inactive plan when no form proves (or the stage
+/// shape is outside the vector network: non-2-power codelets, cn > 64).
+[[nodiscard]] StagePlan plan_stage(const Stage& s, idx_t max_nu, Isa isa);
+
+/// Runs iterations [lo, hi) of a stage under an active plan: scalar
+/// head/tail around the lane-batched middle (packs stay anchored at
+/// absolute multiples of the width, as the form proofs require).
+void run_stage_simd(const Stage& s, const StagePlan& plan, const cplx* src,
+                    cplx* dst, idx_t lo, idx_t hi);
+
+/// Mutation-testing hook (spiral-lint --mutate-vecform): plan_stage
+/// records any proven kStridedLanes side as kAcrossIterations, making
+/// the driver read/write contiguous lanes where the map strides them.
+/// The static analyses cannot see this defect — the program itself is
+/// untouched — so only the execution-parity check can catch it, proving
+/// the dispatcher addresses lanes by the proven shape alone. Never
+/// enable outside mutation tests.
+void set_vecform_mutation(bool enabled) noexcept;
+[[nodiscard]] bool vecform_mutation() noexcept;
+
+/// Per-ISA-variant kernel resolvers, defined one per translation unit
+/// (simd.cpp / simd_avx2.cpp / simd_avx512.cpp). A resolver returns
+/// nullptr when its TU was built without the ISA (compiler too old,
+/// wrong architecture, or SPIRAL_SIMD=OFF at configure time).
+[[nodiscard]] PackFn pack_fn_generic(idx_t width);
+[[nodiscard]] PackFn pack_fn_avx2(idx_t width);
+[[nodiscard]] PackFn pack_fn_avx512(idx_t width);
+
+}  // namespace spiral::backend::simd

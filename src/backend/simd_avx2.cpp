@@ -1,0 +1,26 @@
+// AVX2+FMA kernel variant: the shared kernels from simd_kernels.hpp
+// instantiated in a TU compiled with -mavx2 -mfma (set per-file by
+// src/backend/CMakeLists.txt when the compiler supports the flags). The
+// W=4 kernel lowers to single ymm operations here instead of the SSE2
+// pairs the generic TU produces; W=8 runs as two ymm halves for hosts
+// with AVX2 but not AVX-512. When the flags are unavailable the resolver
+// reports nullptr and dispatch stays on the generic variant.
+#include "backend/simd.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define SPIRAL_SIMD_VARIANT avx2
+#include "backend/simd_kernels.hpp"
+#endif
+
+namespace spiral::backend::simd {
+
+PackFn pack_fn_avx2(idx_t width) {
+#if defined(__AVX2__) && defined(__FMA__)
+  return avx2::pack_fn(width);
+#else
+  (void)width;
+  return nullptr;
+#endif
+}
+
+}  // namespace spiral::backend::simd

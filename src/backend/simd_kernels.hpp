@@ -1,0 +1,275 @@
+// Lane-batched SIMD kernels, shared source for every ISA variant.
+//
+// Each variant translation unit defines SPIRAL_SIMD_VARIANT (a bare
+// namespace name: generic / avx2 / avx512) and includes this header
+// while being compiled with the matching -m flags. The kernels are
+// written against the GCC/Clang vector extensions, so the SAME code
+// lowers to SSE2 pairs, ymm or zmm instructions depending only on the
+// TU's target flags — and the variant namespace keeps the mangled
+// symbols distinct, so the linker can never fold an AVX2 instantiation
+// into the generic fallback (an ODR trap with identical template
+// instantiations across differently-flagged TUs).
+//
+// Number model: split-lane complex. A pack of W consecutive iterations
+// occupies vector re[l]/im[l] registers per codelet element l; the
+// radix-2 network multiplies by BROADCAST twiddles (one (stage, j)
+// twiddle is shared by all lanes), so the arithmetic is pure vector
+// mul/add/fma with no in-network shuffles. The twiddle values come from
+// backend::codelet_tables — the same tables the scalar codelets read.
+#pragma once
+
+#ifndef SPIRAL_SIMD_VARIANT
+#error "define SPIRAL_SIMD_VARIANT before including simd_kernels.hpp"
+#endif
+
+#include <cstring>
+
+#include "backend/codelets.hpp"
+#include "backend/simd.hpp"
+
+namespace spiral::backend::simd {
+namespace SPIRAL_SIMD_VARIANT {
+
+template <int W>
+struct VecT;
+template <>
+struct VecT<2> {
+  typedef double type __attribute__((vector_size(16)));
+};
+template <>
+struct VecT<4> {
+  typedef double type __attribute__((vector_size(32)));
+};
+template <>
+struct VecT<8> {
+  typedef double type __attribute__((vector_size(64)));
+};
+
+/// Per-width shuffle/load helpers. Loads and stores use memcpy: the
+/// compilers emit the unaligned-encoding moves, which run at full speed
+/// on the 64 B-aligned buffers the library allocates and cannot fault on
+/// the caller-provided ones.
+template <int W>
+struct Ops;
+
+template <>
+struct Ops<2> {
+  using V = VecT<2>::type;
+  static inline V loadu(const double* p) {
+    V v;
+    std::memcpy(&v, p, sizeof(V));
+    return v;
+  }
+  static inline void storeu(double* p, V v) { std::memcpy(p, &v, sizeof(V)); }
+  // a/b = W interleaved complex values; re/im = split lanes.
+  static inline void deinterleave(V a, V b, V& re, V& im) {
+    re = __builtin_shufflevector(a, b, 0, 2);
+    im = __builtin_shufflevector(a, b, 1, 3);
+  }
+  static inline void interleave(V re, V im, V& a, V& b) {
+    a = __builtin_shufflevector(re, im, 0, 2);
+    b = __builtin_shufflevector(re, im, 1, 3);
+  }
+};
+
+template <>
+struct Ops<4> {
+  using V = VecT<4>::type;
+  static inline V loadu(const double* p) {
+    V v;
+    std::memcpy(&v, p, sizeof(V));
+    return v;
+  }
+  static inline void storeu(double* p, V v) { std::memcpy(p, &v, sizeof(V)); }
+  static inline void deinterleave(V a, V b, V& re, V& im) {
+    re = __builtin_shufflevector(a, b, 0, 2, 4, 6);
+    im = __builtin_shufflevector(a, b, 1, 3, 5, 7);
+  }
+  static inline void interleave(V re, V im, V& a, V& b) {
+    a = __builtin_shufflevector(re, im, 0, 4, 1, 5);
+    b = __builtin_shufflevector(re, im, 2, 6, 3, 7);
+  }
+};
+
+template <>
+struct Ops<8> {
+  using V = VecT<8>::type;
+  static inline V loadu(const double* p) {
+    V v;
+    std::memcpy(&v, p, sizeof(V));
+    return v;
+  }
+  static inline void storeu(double* p, V v) { std::memcpy(p, &v, sizeof(V)); }
+  static inline void deinterleave(V a, V b, V& re, V& im) {
+    re = __builtin_shufflevector(a, b, 0, 2, 4, 6, 8, 10, 12, 14);
+    im = __builtin_shufflevector(a, b, 1, 3, 5, 7, 9, 11, 13, 15);
+  }
+  static inline void interleave(V re, V im, V& a, V& b) {
+    a = __builtin_shufflevector(re, im, 0, 8, 1, 9, 2, 10, 3, 11);
+    b = __builtin_shufflevector(re, im, 4, 12, 5, 13, 6, 14, 7, 15);
+  }
+};
+
+template <int W>
+inline typename VecT<W>::type bcast(double x) {
+  typename VecT<W>::type v;
+  for (int i = 0; i < W; ++i) v[i] = x;
+  return v;
+}
+
+/// Loads one side of a pack (iterations [it, it+W), element l) into
+/// split-lane registers, addressed BY THE RECORDED FORM: the base lane
+/// comes from the exact stage map, the remaining lanes from the form's
+/// lane stride. (kWithinCodelet has no lane stride — every lane goes
+/// through the exact map, which is always correct.)
+template <int W, bool kIn>
+inline void load_lanes(const Stage& s, VecForm form, const cplx* src,
+                       idx_t it, idx_t l, typename VecT<W>::type& re,
+                       typename VecT<W>::type& im) {
+  const idx_t a0 = kIn ? s.in_index(it, l) : s.out_index(it, l);
+  if (form == VecForm::kAcrossIterations) {
+    const double* p = reinterpret_cast<const double*>(src + a0);
+    const auto x0 = Ops<W>::loadu(p);
+    const auto x1 = Ops<W>::loadu(p + W);
+    Ops<W>::deinterleave(x0, x1, re, im);
+    return;
+  }
+  if (form == VecForm::kStridedLanes) {
+    for (int v = 0; v < W; ++v) {
+      const cplx z = src[a0 + static_cast<idx_t>(v) * W];
+      re[v] = z.real();
+      im[v] = z.imag();
+    }
+    return;
+  }
+  for (int v = 0; v < W; ++v) {
+    const idx_t a = kIn ? s.in_index(it + v, l) : s.out_index(it + v, l);
+    re[v] = src[a].real();
+    im[v] = src[a].imag();
+  }
+}
+
+/// Stores one pack element back through the output map (mirror of
+/// load_lanes).
+template <int W>
+inline void store_lanes(const Stage& s, VecForm form, cplx* dst, idx_t it,
+                        idx_t l, typename VecT<W>::type re,
+                        typename VecT<W>::type im) {
+  const idx_t a0 = s.out_index(it, l);
+  if (form == VecForm::kAcrossIterations) {
+    typename VecT<W>::type y0, y1;
+    Ops<W>::interleave(re, im, y0, y1);
+    double* p = reinterpret_cast<double*>(dst + a0);
+    Ops<W>::storeu(p, y0);
+    Ops<W>::storeu(p + W, y1);
+    return;
+  }
+  if (form == VecForm::kStridedLanes) {
+    for (int v = 0; v < W; ++v) {
+      dst[a0 + static_cast<idx_t>(v) * W] = cplx(re[v], im[v]);
+    }
+    return;
+  }
+  for (int v = 0; v < W; ++v) {
+    dst[s.out_index(it + v, l)] = cplx(re[v], im[v]);
+  }
+}
+
+/// The lane-batched driver: iterations [it0, it1), both multiples of W.
+template <int W>
+void run_packs(const Stage& s, const StagePlan& plan, const cplx* src,
+               cplx* dst, idx_t it0, idx_t it1) {
+  using V = typename VecT<W>::type;
+  const idx_t cn = s.cn;
+  CodeletTables tabs;
+  const bool dft_net = s.is_compute && !s.wht && cn >= 2;
+  if (dft_net) tabs = codelet_tables(cn, s.sign);
+  const bool has_iscl = !plan.in_scale_re.empty();
+  const bool has_oscl = !plan.out_scale_re.empty();
+  V re[64], im[64];
+  for (idx_t it = it0; it < it1; it += W) {
+    const idx_t pack_base = (it / W) * cn * W;
+    for (idx_t l = 0; l < cn; ++l) {
+      load_lanes<W, true>(s, plan.in_form, src, it, l, re[l], im[l]);
+    }
+    if (has_iscl) {
+      for (idx_t l = 0; l < cn; ++l) {
+        const V sr = Ops<W>::loadu(plan.in_scale_re.data() + pack_base + l * W);
+        const V si = Ops<W>::loadu(plan.in_scale_im.data() + pack_base + l * W);
+        const V nr = re[l] * sr - im[l] * si;
+        im[l] = re[l] * si + im[l] * sr;
+        re[l] = nr;
+      }
+    }
+    if (s.is_compute && s.wht) {
+      for (idx_t h = 1; h < cn; h *= 2) {
+        for (idx_t base = 0; base < cn; base += 2 * h) {
+          for (idx_t j = 0; j < h; ++j) {
+            const V ur = re[base + j], ui = im[base + j];
+            const V vr = re[base + j + h], vi = im[base + j + h];
+            re[base + j] = ur + vr;
+            im[base + j] = ui + vi;
+            re[base + j + h] = ur - vr;
+            im[base + j + h] = ui - vi;
+          }
+        }
+      }
+    } else if (dft_net) {
+      for (idx_t i = 0; i < cn; ++i) {
+        const idx_t r = tabs.bitrev[i];
+        if (r > i) {
+          const V tr = re[i], ti = im[i];
+          re[i] = re[r];
+          im[i] = im[r];
+          re[r] = tr;
+          im[r] = ti;
+        }
+      }
+      const int k = util::log2_exact(cn);
+      for (int st = 0; st < k; ++st) {
+        const idx_t h = idx_t{1} << st;
+        const cplx* tw = tabs.stage_tw[st];
+        for (idx_t j = 0; j < h; ++j) {
+          const V wr = bcast<W>(tw[j].real());
+          const V wi = bcast<W>(tw[j].imag());
+          for (idx_t base = 0; base < cn; base += 2 * h) {
+            const idx_t a = base + j, b = base + j + h;
+            const V vr = re[b] * wr - im[b] * wi;
+            const V vi = re[b] * wi + im[b] * wr;
+            re[b] = re[a] - vr;
+            im[b] = im[a] - vi;
+            re[a] += vr;
+            im[a] += vi;
+          }
+        }
+      }
+    }
+    if (has_oscl) {
+      for (idx_t l = 0; l < cn; ++l) {
+        const V sr =
+            Ops<W>::loadu(plan.out_scale_re.data() + pack_base + l * W);
+        const V si =
+            Ops<W>::loadu(plan.out_scale_im.data() + pack_base + l * W);
+        const V nr = re[l] * sr - im[l] * si;
+        im[l] = re[l] * si + im[l] * sr;
+        re[l] = nr;
+      }
+    }
+    for (idx_t l = 0; l < cn; ++l) {
+      store_lanes<W>(s, plan.out_form, dst, it, l, re[l], im[l]);
+    }
+  }
+}
+
+/// Resolves this variant's kernel for a width (2-power in [2, 8]).
+inline PackFn pack_fn(idx_t width) {
+  switch (width) {
+    case 2: return &run_packs<2>;
+    case 4: return &run_packs<4>;
+    case 8: return &run_packs<8>;
+    default: return nullptr;
+  }
+}
+
+}  // namespace SPIRAL_SIMD_VARIANT
+}  // namespace spiral::backend::simd

@@ -60,6 +60,23 @@ bool within_codelet_ok(const MapFn& map, idx_t iters, idx_t cn, idx_t nu) {
   return true;
 }
 
+/// One-map shape check shared by the combined and per-side analyses:
+/// tries the forms in cost order (plain lanes, aligned runs, shuffle
+/// lanes) and reports the first that holds at width nu.
+template <class MapFn>
+VecForm one_map_form(const MapFn& map, idx_t iters, idx_t cn, idx_t nu) {
+  if (across_iterations_ok(map, iters, cn, nu, 1)) {
+    return VecForm::kAcrossIterations;
+  }
+  if (within_codelet_ok(map, iters, cn, nu)) {
+    return VecForm::kWithinCodelet;
+  }
+  if (across_iterations_ok(map, iters, cn, nu, nu)) {
+    return VecForm::kStridedLanes;
+  }
+  return VecForm::kNone;
+}
+
 }  // namespace
 
 VecInfo stage_vector_info(const Stage& s, idx_t max_nu) {
@@ -69,23 +86,11 @@ VecInfo stage_vector_info(const Stage& s, idx_t max_nu) {
     return s.out_index(k / s.cn, k % s.cn);
   };
   for (idx_t nu = max_nu; nu >= 2; nu /= 2) {
-    auto one_map_ok = [&](const auto& map, VecForm* form) {
-      if (across_iterations_ok(map, s.iters, s.cn, nu, 1)) {
-        *form = VecForm::kAcrossIterations;
-        return true;
-      }
-      if (within_codelet_ok(map, s.iters, s.cn, nu)) {
-        *form = VecForm::kWithinCodelet;
-        return true;
-      }
-      if (across_iterations_ok(map, s.iters, s.cn, nu, nu)) {
-        *form = VecForm::kStridedLanes;
-        return true;
-      }
-      return false;
-    };
-    VecForm fin = VecForm::kNone, fout = VecForm::kNone;
-    if (one_map_ok(in_at, &fin) && one_map_ok(out_at, &fout)) {
+    const VecForm fin = one_map_form(in_at, s.iters, s.cn, nu);
+    const VecForm fout = (fin == VecForm::kNone)
+                             ? VecForm::kNone
+                             : one_map_form(out_at, s.iters, s.cn, nu);
+    if (fin != VecForm::kNone && fout != VecForm::kNone) {
       // Report the "weakest" of the two forms (shuffles dominate cost).
       VecForm form = fin;
       if (fout == VecForm::kStridedLanes || fin == VecForm::kStridedLanes) {
@@ -97,6 +102,22 @@ VecInfo stage_vector_info(const Stage& s, idx_t max_nu) {
     }
   }
   return {VecForm::kNone, 1};
+}
+
+SideVecInfo stage_vector_sides(const Stage& s, idx_t max_nu) {
+  util::require(util::is_pow2(max_nu), "vector width must be a 2-power");
+  const auto in_at = [&s](idx_t k) { return s.in_index(k / s.cn, k % s.cn); };
+  const auto out_at = [&s](idx_t k) {
+    return s.out_index(k / s.cn, k % s.cn);
+  };
+  for (idx_t nu = max_nu; nu >= 2; nu /= 2) {
+    const VecForm fin = one_map_form(in_at, s.iters, s.cn, nu);
+    if (fin == VecForm::kNone) continue;
+    const VecForm fout = one_map_form(out_at, s.iters, s.cn, nu);
+    if (fout == VecForm::kNone) continue;
+    return {fin, fout, nu};
+  }
+  return {};
 }
 
 std::vector<VecInfo> program_vector_info(const StageList& list,

@@ -47,6 +47,21 @@ struct VecInfo {
 /// as Spiral's vector backend does with twiddles).
 [[nodiscard]] VecInfo stage_vector_info(const Stage& s, idx_t max_nu);
 
+/// Per-side vectorization report. Execution needs the proven shape of
+/// each side separately: a fused (I (x) A)L stage legitimately proves
+/// kStridedLanes on its input map and kAcrossIterations on its output
+/// map, and the SIMD drivers must address each side by its own form —
+/// collapsing to the combined "weakest form" (stage_vector_info) would
+/// mis-address one side.
+struct SideVecInfo {
+  VecForm in = VecForm::kNone;   ///< proven shape of the input map
+  VecForm out = VecForm::kNone;  ///< proven shape of the output map
+  idx_t width = 1;  ///< largest nu (2-power) at which BOTH sides prove
+};
+
+/// Per-side analysis of one stage for widths up to max_nu (power of two).
+[[nodiscard]] SideVecInfo stage_vector_sides(const Stage& s, idx_t max_nu);
+
 /// Per-stage analysis of the whole program.
 [[nodiscard]] std::vector<VecInfo> program_vector_info(const StageList& list,
                                                        idx_t max_nu);

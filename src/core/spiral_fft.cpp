@@ -238,9 +238,17 @@ FftPlan::FftPlan(spl::FormulaPtr formula, backend::StageList stages,
   // safe to execute from many client threads at once.
   program_ = std::make_unique<backend::Program>(std::move(stages),
                                                 opt.policy, nullptr);
+  if (opt.vector_nu >= 2) {
+    // Make the vec rules executable: stages whose fused maps prove a
+    // short-vector shape at width nu run through the SIMD drivers
+    // (backend/simd). Plans without vector_nu keep the scalar codelets,
+    // so the interpreter baseline in the benches stays scalar.
+    program_->enable_simd(opt.vector_nu);
+  }
   if (opt.jit || opt.policy == backend::ExecPolicy::kJit) {
-    jit::Compiled compiled =
-        jit::compile_program(program_->stages(), opt.jit_options);
+    jit::Options jopt = opt.jit_options;
+    if (opt.vector_nu >= 2) jopt.simd_nu = opt.vector_nu;
+    jit::Compiled compiled = jit::compile_program(program_->stages(), jopt);
     jit_report_ = compiled.report;
     if (compiled.ok()) {
       // The lambda owns the module: the shared object stays loaded as
@@ -284,6 +292,13 @@ std::string FftPlan::describe() const {
      << ", " << backend::to_string(program_->policy()) << ", threads="
      << threads_ << "]\n";
   os << "formula: " << spl::to_string(formula_) << "\n";
+  if (program_->simd_active()) {
+    int vec = 0;
+    for (const auto& sp : program_->simd_plans()) vec += sp.active ? 1 : 0;
+    os << "simd: " << backend::simd::to_string(backend::simd::detect_isa())
+       << ", " << vec << "/" << program_->stages().stages.size()
+       << " stages vectorized\n";
+  }
   os << program_->stages().summary();
   return os.str();
 }

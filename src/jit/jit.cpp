@@ -265,6 +265,7 @@ std::string cache_key(const backend::StageList& list, const Options& opt) {
   feed_compiler_fingerprint(f, resolve_compiler(opt));
   f.str(opt.extra_cflags);
   f.pod(max_parallel(list) > 1 ? 1 : 0);  // threading mode of the emission
+  f.pod(opt.simd_nu);  // vector width changes both emission and flags
   return hex64(f.h);
 }
 
@@ -343,6 +344,7 @@ Compiled compile_program(const backend::StageList& list, const Options& opt) {
   cg.threading = max_parallel(list) > 1
                      ? backend::CodegenThreading::kPthreadsPool
                      : backend::CodegenThreading::kNone;
+  cg.simd_nu = opt.simd_nu;
   const std::string source = backend::emit_c(list, cg);
 
   const std::string tmp_so = cache.tmp_path(key);
@@ -359,8 +361,16 @@ Compiled compile_program(const backend::StageList& list, const Options& opt) {
 
   std::string cerr_msg;
   g_stats().compiles.fetch_add(1, std::memory_order_relaxed);
-  const bool compiled =
-      run_compiler(cc, opt.extra_cflags, tmp_c, tmp_so, &cerr_msg);
+  // Vectorized emission targets the host: the JIT compiles for the
+  // machine it runs on by definition, and -march=native lets the
+  // vector-extension stage bodies lower to the widest available ISA.
+  // A compiler that rejects the flag fails the compile and the plan
+  // keeps the (still SIMD-enabled) interpreter.
+  std::string cflags = opt.extra_cflags;
+  if (opt.simd_nu >= 2) {
+    cflags += cflags.empty() ? "-march=native" : " -march=native";
+  }
+  const bool compiled = run_compiler(cc, cflags, tmp_c, tmp_so, &cerr_msg);
   {
     std::error_code ec;
     fs::remove(tmp_c, ec);

@@ -73,6 +73,12 @@ struct Options {
   std::string cache_dir;     ///< empty: environment/XDG default
   std::uint64_t cache_max_bytes = std::uint64_t{256} << 20;
   bool use_cache = true;     ///< false: always recompile (tests/bench)
+  /// SIMD width (complex lanes) for the emitted C: stages whose maps
+  /// prove the contiguous-lane shape at this width are emitted as
+  /// vector-extension code and the compile line targets the host ISA
+  /// (-march=native). 0 = scalar emission. Part of the cache key — the
+  /// same program at a different width is a different object.
+  idx_t simd_nu = 0;
 };
 
 /// Result of compile_program: a live module (shared with other plans of

@@ -20,6 +20,15 @@ namespace spiral::util {
 /// doubles); it is also the natural alignment for SSE2/AVX loads.
 inline constexpr std::size_t kBufferAlignment = 64;
 
+// The SIMD execution layer and the JIT ABI scratch buffers assume every
+// library-allocated signal buffer is aligned to the widest vector
+// register in play (64 B = one AVX-512 zmm). A weaker guarantee would
+// make aligned vector loads fault; keep the invariant machine-checked.
+static_assert(kBufferAlignment >= 64,
+              "signal buffers must be aligned for 512-bit vector loads");
+static_assert(kBufferAlignment % alignof(cplx) == 0,
+              "buffer alignment must refine the element alignment");
+
 /// Minimal standard-conforming aligned allocator.
 template <class T, std::size_t Align = kBufferAlignment>
 struct AlignedAllocator {

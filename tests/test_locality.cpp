@@ -246,24 +246,41 @@ TEST(LocalityReport, FootprintsCoverTheTransform) {
 TEST(LocalityModel, PredictionsTrackSimulatorWithinTolerance) {
   // The miss model is analytic (stack distances vs capacities), not a
   // cache simulation — hold it to "right magnitude and right shape".
+  // Calibrated against the simulator's prefetcher (sequential lane
+  // streams absorb mem_cycles down to prefetch_factor) and its private
+  // caches (per-core reuse volumes, not the global union), the model
+  // lands within 2x on cycles across the in-cache / transition range
+  // for every thread count — half the old 4x band.
   for (int k : {8, 12, 14}) {
-    const idx_t n = idx_t{1} << k;
-    const int p = 4;
-    const auto cfg = machine::generic_config(p, 4);
-    const StageList list = planner_program(n, p);
+    for (int p : {1, 2, 4}) {
+      const idx_t n = idx_t{1} << k;
+      const auto cfg = machine::generic_config(p < 2 ? 2 : p, 4);
+      const StageList list = planner_program(n, p);
 
-    machine::SimOptions so;
-    so.threads = p;
-    const auto sr = machine::simulate(list, cfg, so);
+      machine::SimOptions so;
+      so.threads = p;
+      const auto sr = machine::simulate(list, cfg, so);
 
-    LocalityOptions lo;
-    lo.threads = p;
-    const LocalityReport rep = analysis::analyze_locality(list, cfg, lo);
+      LocalityOptions lo;
+      lo.threads = p;
+      const LocalityReport rep = analysis::analyze_locality(list, cfg, lo);
 
-    EXPECT_GT(rep.pred_cycles, 0.0);
-    // Cycles within 4x either way (barriers + flops anchor both sides).
-    EXPECT_LT(rep.pred_cycles, 4.0 * sr.cycles) << "n=2^" << k;
-    EXPECT_GT(rep.pred_cycles, sr.cycles / 4.0) << "n=2^" << k;
+      EXPECT_GT(rep.pred_cycles, 0.0);
+      EXPECT_LT(rep.pred_cycles, 2.0 * sr.cycles)
+          << "n=2^" << k << " p=" << p;
+      EXPECT_GT(rep.pred_cycles, sr.cycles / 2.0)
+          << "n=2^" << k << " p=" << p;
+      // Memory-line predictions must track the simulator too: silent
+      // when its caches hold the working set, within 2x when they miss.
+      if (sr.l2_misses == 0) {
+        EXPECT_EQ(rep.pred_mem_lines, 0) << "n=2^" << k << " p=" << p;
+      } else {
+        EXPECT_LT(rep.pred_mem_lines, 2 * sr.l2_misses)
+            << "n=2^" << k << " p=" << p;
+        EXPECT_GT(rep.pred_mem_lines, sr.l2_misses / 2)
+            << "n=2^" << k << " p=" << p;
+      }
+    }
   }
 }
 
@@ -277,11 +294,12 @@ TEST(LocalityModel, OutOfCacheSizesPredictMemoryTraffic) {
   lo.threads = 4;
   const LocalityReport rep = analysis::analyze_locality(list, cfg, lo);
   const auto lines = static_cast<std::int64_t>(n / cfg.mu());
-  // At least one full-vector stream per stage should be classified as
-  // memory-resident, and not absurdly more than in+out+twiddle per stage.
+  // Every stage streams the whole vector through memory at this size, so
+  // the prediction must cover one full-vector stream *per stage* and not
+  // exceed three (in + out + twiddle) per stage.
   const auto S = static_cast<std::int64_t>(rep.stages.size());
-  EXPECT_GE(rep.pred_mem_lines, lines);
-  EXPECT_LE(rep.pred_mem_lines, 4 * S * lines);
+  EXPECT_GE(rep.pred_mem_lines, S * lines);
+  EXPECT_LE(rep.pred_mem_lines, 3 * S * lines);
 }
 
 TEST(LocalityModel, InCacheSizesPredictNoMemoryTraffic) {

@@ -42,6 +42,7 @@
 #include "analysis/rule_audit.hpp"
 #include "analysis/verify.hpp"
 #include "backend/lower.hpp"
+#include "backend/simd.hpp"
 #include "core/spiral_fft.hpp"
 #include "machine/config.hpp"
 #include "spl/dense.hpp"
@@ -73,6 +74,8 @@ void usage() {
                " (caught by --check-exec)\n"
                "       --mutate-pingpong    reverse the executor's stage"
                " walk (caught by --check-exec)\n"
+               "       --mutate-vecform     mis-report strided-lane SIMD"
+               " shapes as contiguous (caught by --check-exec)\n"
                "       --check-exec         also execute each plan against"
                " its formula's dense matrix\n"
                "       --analyze-locality   static cache-traffic analysis"
@@ -279,10 +282,19 @@ int run(const spiral::util::CliArgs& args) {
     // invisible to the static verifier, caught only by executing.
     backend::set_pingpong_mutation(true);
   }
+  if (args.has("mutate-vecform")) {
+    // Mis-record the strided-lane SIMD shape (the L^{nu^2}_nu base case)
+    // as the contiguous across-iterations shape when planning vector
+    // drivers. The drivers address lanes by the recorded form, so the
+    // vectorized stages compute wrong values — structurally invisible,
+    // caught only by the execution-parity check.
+    backend::simd::set_vecform_mutation(true);
+  }
   // Value-level mutations imply the execution check that catches them.
   const bool check_exec = args.has("check-exec") ||
                           args.has("mutate-twiddle") ||
-                          args.has("mutate-pingpong");
+                          args.has("mutate-pingpong") ||
+                          args.has("mutate-vecform");
 
   std::vector<LintItem> items;
 
