@@ -1,0 +1,118 @@
+// Static translation validation of the generated C (backend/codegen_c).
+//
+// The paper's deployment model is *generated code*: the program that
+// serves traffic is the C translation unit `emit_c` renders, not the
+// Stage IR the rest of the analysis stack reasons about. Until now the
+// only correctness gate on that final artifact was the runtime
+// first-execution parity check — which already let one real gcc
+// IPA-modref hoist-above-barrier miscompile through to debugging. This
+// pass closes the gap in the FFTW/SPIRAL translation-validation style:
+// it parses the restricted C dialect the emitter produces (affine index
+// expressions, stage loops, pthreads single-fork pool dispatch,
+// GCC-vector bodies, ping-pong scratch) back into a symbolic model and
+// proves three things *statically*, before the compiler ever runs:
+//
+//  (a) Footprints & synchronization. The per-(iteration, element)
+//      read/write indices, scale tables, and per-thread chunk bounds of
+//      the *emitted* code are recomputed and diffed against the source
+//      StageList; the reconstructed program is then re-run through
+//      analysis::verify, so races, bounds violations, lost/duplicate
+//      elements introduced by the emitter become typed findings. Barrier
+//      placement between dependent stage transitions and the _Atomic
+//      qualification of the pool's job pointers (the miscompile class
+//      above) are checked structurally.
+//
+//  (b) 64-bit index safety. Every closed-form index expression must be
+//      computed in 64-bit (`long`) arithmetic; a narrowed declaration is
+//      flagged, and materialized int32 table sides are checked against
+//      the 2*idx interleaved-address overflow bound at the plan's actual
+//      n/p/nu.
+//
+//  (c) Codelet semantics. The rev/twiddle tables of every emitted DFT
+//      codelet (scalar and across-iterations SIMD variants) are parsed
+//      and the radix-2 network is applied symbolically to unit vectors;
+//      the resulting linear map must match the DFT matrix of the
+//      interpreter's stage semantics. The fixed butterfly/WHT skeleton
+//      text is template-matched against the canonical emission, and the
+//      SIMD deinterleave/interleave shuffle index lists are verified
+//      lane by lane.
+//
+// Wired as a plan-time gate in jit::compile_program (a finding rejects
+// the program before compile/dlopen, typed as
+// JitStatus::kCodegenCheckFailed) and as `spiral-lint --validate-codegen`
+// with `--mutate-codegen=<kind>` seeded emitter bugs for mutation
+// testing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/stage.hpp"
+
+namespace spiral::analysis {
+
+/// Typed defect classes of the emitted program.
+enum class CodegenDiag {
+  kParseError,        ///< source deviates from the emitter dialect
+  kShapeMismatch,     ///< n / stage count / descriptor / ping-pong chain
+  kFootprintMismatch, ///< emitted (it,l) addressing differs from the IR
+  kScaleMismatch,     ///< emitted scale tables differ from the IR
+  kScheduleMismatch,  ///< per-thread chunk bounds differ from the schedule
+  kEmittedUnsafe,     ///< verify() errors on the reconstructed program
+  kMissingBarrier,    ///< dependent stage transition without pool_barrier
+  kNonAtomicJobDispatch, ///< job pointers not _Atomic (hoist-above-barrier)
+  kNarrowedIndex,     ///< index expression computed in 32-bit arithmetic
+  kCodeletMismatch,   ///< codelet linear map != DFT/WHT stage semantics
+  kLaneMismatch,      ///< SIMD shuffle/lane addressing wrong (re/im swap…)
+};
+
+[[nodiscard]] const char* to_string(CodegenDiag d);
+
+/// One finding, anchored to a stage (stage == -1: program-level).
+struct CodegenFinding {
+  CodegenDiag kind = CodegenDiag::kParseError;
+  int stage = -1;
+  std::string message;
+};
+
+/// Structured result of one validation run.
+struct CodegenReport {
+  idx_t n = 0;     ///< transform size parsed from the emitted header
+  int stages = 0;  ///< stage bodies discovered in the source
+  /// Stages emitted with an across-iterations vector body, and the lane
+  /// width of each (parallel arrays). This is the ground truth the
+  /// `spiral_jit_program` descriptor's vec_stages field is checked
+  /// against, and what FftPlan::jit_report() surfaces.
+  std::vector<int> vec_stage_ids;
+  std::vector<idx_t> vec_stage_widths;
+  std::vector<CodegenFinding> findings;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+  [[nodiscard]] std::int64_t count(CodegenDiag kind) const;
+  /// Human-readable multi-line report.
+  [[nodiscard]] std::string to_string() const;
+  /// "1:4,3:4" — the vectorized-stage summary (descriptor format).
+  [[nodiscard]] std::string vec_stages_string() const;
+};
+
+struct CodegenCheckOptions {
+  /// Cache-line length (complex elements) for the verify() re-run on the
+  /// reconstructed program.
+  idx_t mu = 4;
+  /// Expected program fingerprint in the emitted descriptor (0 = skip).
+  std::uint64_t expect_fingerprint = 0;
+  /// Expected simd_nu recorded in the descriptor (-1 = skip).
+  idx_t expect_simd_nu = -1;
+  /// Name of the emitted entry point.
+  std::string entry_name = "spiral_jit_entry";
+};
+
+/// Validates `source` (a TU produced by backend::emit_c in the JIT shape:
+/// CodegenThreading::kNone or kPthreadsPool) against the StageList it was
+/// emitted from. Purely static — the source is never compiled or run.
+[[nodiscard]] CodegenReport check_codegen(
+    const std::string& source, const backend::StageList& list,
+    const CodegenCheckOptions& opt = {});
+
+}  // namespace spiral::analysis

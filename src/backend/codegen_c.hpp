@@ -27,11 +27,13 @@ namespace spiral::backend {
 /// any change to the shape of the generated code (ABI fields, loop
 /// structure, table layout, emission bug fixes) must bump this so stale
 /// cached objects can never be loaded by a newer library.
-inline constexpr int kCodegenVersion = 4;
+inline constexpr int kCodegenVersion = 5;
 
 /// ABI version of the `spiral_jit_program` descriptor emitted when
-/// CodegenOptions::jit_abi is set (see SpiralJitProgramV1 in src/jit/).
-inline constexpr int kJitAbiVersion = 1;
+/// CodegenOptions::jit_abi is set (see SpiralJitProgramV2 in src/jit/).
+/// v2 added {simd_nu, vec_stages} after the fingerprint so loaders and
+/// FftPlan::jit_report() can see which stages actually vectorized.
+inline constexpr int kJitAbiVersion = 2;
 
 enum class CodegenThreading {
   kNone,     ///< sequential C
@@ -75,5 +77,29 @@ struct CodegenOptions {
 /// Renders the stage list as a complete C source file.
 [[nodiscard]] std::string emit_c(const StageList& list,
                                  const CodegenOptions& opts = {});
+
+/// Seeded emitter defects for mutation-testing analysis::codegen_check
+/// (`spiral-lint --mutate-codegen=<kind>`, WILL_FAIL ctest gates). Each
+/// kind corrupts only the rendered text — the StageList, the JIT cache
+/// key, and the descriptor stay truthful, so the static validator is the
+/// only line of defense the mutation exercises.
+enum class CodegenMutation {
+  kNone,
+  /// Input iteration stride off by one in emitted affine bodies
+  /// (wrong-footprint class; caught as footprint-mismatch).
+  kStrideSkew,
+  /// Omit the pool_barrier() between dependent stage transitions in
+  /// run_program (the race class; caught as missing-barrier).
+  kDropBarrier,
+  /// Swap the real/imag deinterleave shuffles of SIMD loads
+  /// (re/im lane swap; caught as lane-mismatch).
+  kSwapLanes,
+  /// Declare index temporaries `int` instead of `long`
+  /// (32-bit truncation class; caught as narrowed-index).
+  kNarrowIndex,
+};
+
+void set_codegen_mutation(CodegenMutation m) noexcept;
+[[nodiscard]] CodegenMutation codegen_mutation() noexcept;
 
 }  // namespace spiral::backend

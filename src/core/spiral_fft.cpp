@@ -299,6 +299,15 @@ std::string FftPlan::describe() const {
        << ", " << vec << "/" << program_->stages().stages.size()
        << " stages vectorized\n";
   }
+  if (jit_report_.ok()) {
+    os << "jit: native (key=" << jit_report_.cache_key;
+    if (jit_report_.simd_nu > 0) {
+      os << ", nu=" << jit_report_.simd_nu << ", vec=["
+         << (jit_report_.vec_stages.empty() ? "-" : jit_report_.vec_stages)
+         << "]";
+    }
+    os << ")\n";
+  }
   os << program_->stages().summary();
   return os.str();
 }

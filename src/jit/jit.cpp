@@ -13,6 +13,7 @@
 #include <sstream>
 #include <type_traits>
 
+#include "analysis/codegen_check.hpp"
 #include "analysis/verify.hpp"
 #include "backend/codegen_c.hpp"
 #include "jit/cache.hpp"
@@ -190,6 +191,7 @@ const char* to_string(JitStatus s) {
     case JitStatus::kDisabled: return "disabled";
     case JitStatus::kNoCompiler: return "no-compiler";
     case JitStatus::kVerifyFailed: return "verify-failed";
+    case JitStatus::kCodegenCheckFailed: return "codegen-check-failed";
     case JitStatus::kCacheFailed: return "cache-failed";
     case JitStatus::kCompileFailed: return "compile-failed";
     case JitStatus::kLoadFailed: return "load-failed";
@@ -205,6 +207,8 @@ std::string Report::to_string() const {
   if (!cache_key.empty()) s += " key=" + cache_key;
   if (status == JitStatus::kOk) {
     s += cache_hit ? " (cache hit)" : " (compiled)";
+    if (simd_nu > 0) s += " nu=" + std::to_string(simd_nu);
+    if (!vec_stages.empty()) s += " vec=" + vec_stages;
   }
   if (!message.empty()) s += " — " + message;
   if (!notes.empty()) s += " [" + notes + "]";
@@ -303,6 +307,8 @@ Compiled compile_program(const backend::StageList& list, const Options& opt) {
       rep.status = JitStatus::kOk;
       rep.cache_hit = true;
       rep.message = "shared already-loaded module";
+      rep.simd_nu = mod->simd_nu();
+      rep.vec_stages = mod->vec_stages();
       out.module = std::move(mod);
       return out;
     }
@@ -327,6 +333,8 @@ Compiled compile_program(const backend::StageList& list, const Options& opt) {
       g_stats().loads.fetch_add(1, std::memory_order_relaxed);
       rep.status = JitStatus::kOk;
       rep.cache_hit = true;
+      rep.simd_nu = mod->simd_nu();
+      rep.vec_stages = mod->vec_stages();
       out.module = std::move(mod);
       return out;
     }
@@ -346,6 +354,29 @@ Compiled compile_program(const backend::StageList& list, const Options& opt) {
                      : backend::CodegenThreading::kNone;
   cg.simd_nu = opt.simd_nu;
   const std::string source = backend::emit_c(list, cg);
+
+  // 5b. Static translation validation of the emitted C: prove the
+  // generated program equivalent to the StageList *before* spending a
+  // compile and trusting the object (DESIGN.md §5h). This is the gate
+  // that turns emitter bugs — and the hoist-above-barrier miscompile
+  // preconditions — into typed plan-time failures instead of wrong
+  // transforms.
+  if (opt.validate_codegen) {
+    analysis::CodegenCheckOptions cko;
+    cko.expect_fingerprint = fingerprint;
+    cko.expect_simd_nu = opt.simd_nu;
+    cko.entry_name = cg.function_name;
+    const analysis::CodegenReport cr =
+        analysis::check_codegen(source, list, cko);
+    if (!cr.clean()) {
+      rep.status = JitStatus::kCodegenCheckFailed;
+      rep.message = "static codegen validation rejected the emitted C: " +
+                    std::to_string(cr.findings.size()) + " finding(s), first [" +
+                    std::string(analysis::to_string(cr.findings[0].kind)) +
+                    "] " + cr.findings[0].message;
+      return out;
+    }
+  }
 
   const std::string tmp_so = cache.tmp_path(key);
   const std::string tmp_c = tmp_so + ".c";
@@ -419,6 +450,8 @@ Compiled compile_program(const backend::StageList& list, const Options& opt) {
   }
   g_stats().loads.fetch_add(1, std::memory_order_relaxed);
   rep.status = JitStatus::kOk;
+  rep.simd_nu = mod->simd_nu();
+  rep.vec_stages = mod->vec_stages();
   out.module = std::move(mod);
   return out;
 }

@@ -41,6 +41,9 @@ enum class JitStatus {
   kNoCompiler,    ///< no usable C compiler (configure-time default,
                   ///< SPIRAL_JIT_CC override, or Options::compiler)
   kVerifyFailed,  ///< analysis::verify rejected the program pre-emission
+  /// analysis::codegen_check rejected the *emitted C* before the
+  /// compiler ran (static translation validation, DESIGN.md §5h)
+  kCodegenCheckFailed,
   kCacheFailed,   ///< cache directory unusable or rename failed
   kCompileFailed, ///< the compiler exited nonzero
   kLoadFailed,    ///< dlopen rejected the shared object
@@ -58,6 +61,12 @@ struct Report {
   std::string cache_key;  ///< hex key of the compiled object ("" if unknown)
   bool cache_hit = false; ///< object came from disk; compiler not invoked
   std::string notes;      ///< non-fatal events (corrupt entry evicted, ...)
+  /// From the loaded module's descriptor: emission SIMD width (0 =
+  /// scalar) and the "si:w,..." record of stages that actually got a
+  /// vector body. Filled on every kOk path; surfaced by
+  /// FftPlan::jit_report().
+  int simd_nu = 0;
+  std::string vec_stages;
 
   [[nodiscard]] bool ok() const { return status == JitStatus::kOk; }
   [[nodiscard]] std::string to_string() const;
@@ -79,6 +88,12 @@ struct Options {
   /// (-march=native). 0 = scalar emission. Part of the cache key — the
   /// same program at a different width is a different object.
   idx_t simd_nu = 0;
+  /// Statically validate the emitted C against the StageList
+  /// (analysis::codegen_check) before invoking the compiler; a finding
+  /// rejects the program as kCodegenCheckFailed and the plan keeps the
+  /// interpreter. Skipped on cache hits (the cached object was already
+  /// validated when it was built).
+  bool validate_codegen = true;
 };
 
 /// Result of compile_program: a live module (shared with other plans of

@@ -60,7 +60,7 @@ std::shared_ptr<Module> Runtime::load(const std::string& key,
     if (bad_module != nullptr) *bad_module = true;
     return nullptr;
   };
-  const auto* desc = static_cast<const SpiralJitProgramV1*>(
+  const auto* desc = static_cast<const SpiralJitProgramV2*>(
       dlsym(handle, "spiral_jit_program"));
   if (desc == nullptr) {
     return reject("object at '" + path +

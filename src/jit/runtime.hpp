@@ -28,11 +28,16 @@ namespace spiral::jit {
 /// C-side mirror of the descriptor struct the generated code exports
 /// (backend::CodegenOptions::jit_abi). Field order and types are the ABI;
 /// bump backend::kJitAbiVersion when changing it.
-struct SpiralJitProgramV1 {
+struct SpiralJitProgramV2 {
   int abi_version;
   long long n;
   int threads;
   unsigned long long fingerprint;
+  /// SIMD width (complex lanes) the program was emitted for (0 = scalar).
+  int simd_nu;
+  /// "si:w" comma-joined for every stage emitted with a vector body —
+  /// which VecForm-proven shapes this program actually vectorized.
+  const char* vec_stages;
   void (*exec)(const double* x, double* y, double* b0, double* b1);
   void (*shutdown)();
 };
@@ -53,6 +58,11 @@ class Module {
   [[nodiscard]] std::uint64_t fingerprint() const noexcept {
     return desc_->fingerprint;
   }
+  [[nodiscard]] int simd_nu() const noexcept { return desc_->simd_nu; }
+  /// Vectorized-stage record ("si:w,..."), "" for scalar programs.
+  [[nodiscard]] const char* vec_stages() const noexcept {
+    return desc_->vec_stages != nullptr ? desc_->vec_stages : "";
+  }
   [[nodiscard]] const std::string& key() const noexcept { return key_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
@@ -64,13 +74,13 @@ class Module {
 
  private:
   friend class Runtime;
-  Module(void* handle, const SpiralJitProgramV1* desc, std::string key,
+  Module(void* handle, const SpiralJitProgramV2* desc, std::string key,
          std::string path)
       : handle_(handle), desc_(desc), key_(std::move(key)),
         path_(std::move(path)) {}
 
   void* handle_;
-  const SpiralJitProgramV1* desc_;
+  const SpiralJitProgramV2* desc_;
   std::string key_;
   std::string path_;
   mutable std::mutex exec_mu_;

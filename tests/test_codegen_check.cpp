@@ -1,0 +1,464 @@
+// Tests for analysis::codegen_check — static translation validation of
+// the JIT C backend (DESIGN.md §5h).
+//
+// Four layers of evidence that the validator is both sound and live:
+//   1. the unmutated planner sweep (2^4..2^14, p in {1,2,4}, nu in
+//      {1,4}) validates clean — no false positives on real plans;
+//   2. every seeded emitter defect (--mutate-codegen kinds) is rejected
+//      with exactly the intended typed diagnostic — mutation testing of
+//      the validator itself, mirrored by the WILL_FAIL ctest lint gates;
+//   3. string-level tampering with an otherwise clean emission (removed
+//      barrier, de-atomized job pointer, perturbed twiddle, corrupted
+//      descriptor fingerprint) is caught — the validator reads the
+//      *text*, not the emitter's intentions;
+//   4. the jit::compile_program gate turns a finding into
+//      JitStatus::kCodegenCheckFailed before the compiler ever runs,
+//      and the plan keeps the (correct) interpreter.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "analysis/codegen_check.hpp"
+#include "backend/codegen_c.hpp"
+#include "backend/lower.hpp"
+#include "core/spiral_fft.hpp"
+#include "jit/jit.hpp"
+#include "rewrite/breakdown.hpp"
+#include "rewrite/expand.hpp"
+#include "rewrite/multicore_fft.hpp"
+#include "test_helpers.hpp"
+
+namespace spiral {
+namespace {
+
+namespace fs = std::filesystem;
+using spiral::testing::fft_tolerance;
+using spiral::testing::max_diff;
+using spiral::testing::reference_dft;
+
+/// RAII seed/clear of an emitter defect: no test can leave a mutation
+/// behind for the rest of the suite.
+class MutationGuard {
+ public:
+  explicit MutationGuard(backend::CodegenMutation m) {
+    backend::set_codegen_mutation(m);
+  }
+  ~MutationGuard() {
+    backend::set_codegen_mutation(backend::CodegenMutation::kNone);
+  }
+  MutationGuard(const MutationGuard&) = delete;
+  MutationGuard& operator=(const MutationGuard&) = delete;
+};
+
+/// Emits `list` exactly the way jit::compile_program does — hardened JIT
+/// ABI, pthreads pool when any stage is parallel, the requested SIMD
+/// width, the true program fingerprint in the descriptor.
+std::string emit_jit_shaped(const backend::StageList& list, idx_t nu) {
+  idx_t maxp = 1;
+  for (const auto& s : list.stages) maxp = std::max(maxp, s.parallel_p);
+  backend::CodegenOptions cg;
+  cg.function_name = "spiral_jit_entry";
+  cg.jit_abi = true;
+  cg.fingerprint = jit::program_fingerprint(list);
+  cg.threading = maxp > 1 ? backend::CodegenThreading::kPthreadsPool
+                          : backend::CodegenThreading::kNone;
+  cg.simd_nu = nu;
+  return backend::emit_c(list, cg);
+}
+
+/// Check options matching emit_jit_shaped's emission.
+analysis::CodegenCheckOptions check_options(const backend::StageList& list,
+                                            idx_t nu) {
+  analysis::CodegenCheckOptions cko;
+  cko.expect_fingerprint = jit::program_fingerprint(list);
+  cko.expect_simd_nu = nu;
+  return cko;
+}
+
+/// Plan n at (threads, nu) through the real planner and return the
+/// lowered+fused program — the same StageList the JIT would compile.
+backend::StageList planned_list(idx_t n, int threads, idx_t nu) {
+  core::PlannerOptions opt;
+  opt.threads = threads;
+  opt.vector_nu = nu >= 2 ? nu : 0;
+  auto plan = core::plan_dft(n, opt);
+  return plan->stages();
+}
+
+/// The canonical mutant configuration (matches the WILL_FAIL lint
+/// gates): n=4096, p=4, nu=4 — parallel pooled dispatch with vectorized
+/// stages, so every mutation kind has something to bite.
+const backend::StageList& mutant_list() {
+  static const backend::StageList list = planned_list(4096, 4, 4);
+  return list;
+}
+
+analysis::CodegenReport check_mutant_emission(backend::CodegenMutation m) {
+  const backend::StageList& list = mutant_list();
+  MutationGuard guard(m);
+  const std::string source = emit_jit_shaped(list, 4);
+  return analysis::check_codegen(source, list, check_options(list, 4));
+}
+
+// ---------------------------------------------------------------------
+// 1. Clean validation: no false positives.
+// ---------------------------------------------------------------------
+
+// The acceptance sweep of the issue: every planner output across
+// 2^4..2^14 x p in {1,2,4} x nu in {1,4} must emit a program the
+// validator accepts without a single finding.
+TEST(CodegenCheckSweep, PlannerSweepValidatesClean) {
+  for (int logn = 4; logn <= 14; ++logn) {
+    const idx_t n = idx_t{1} << logn;
+    for (int p : {1, 2, 4}) {
+      for (idx_t nu : {idx_t{1}, idx_t{4}}) {
+        const backend::StageList list = planned_list(n, p, nu);
+        const std::string source = emit_jit_shaped(list, nu);
+        const analysis::CodegenReport rep =
+            analysis::check_codegen(source, list, check_options(list, nu));
+        EXPECT_TRUE(rep.clean()) << "n=" << n << " p=" << p << " nu=" << nu
+                                 << "\n" << rep.to_string();
+      }
+    }
+  }
+}
+
+TEST(CodegenCheck, VecStageRecordMatchesDescriptor) {
+  const backend::StageList& list = mutant_list();
+  const std::string source = emit_jit_shaped(list, 4);
+  const analysis::CodegenReport rep =
+      analysis::check_codegen(source, list, check_options(list, 4));
+  ASSERT_TRUE(rep.clean()) << rep.to_string();
+  // The canonical config provably vectorizes (this is also the
+  // non-vacuity anchor for the swap-lanes mutant below).
+  ASSERT_FALSE(rep.vec_stage_ids.empty());
+  ASSERT_EQ(rep.vec_stage_ids.size(), rep.vec_stage_widths.size());
+  for (idx_t w : rep.vec_stage_widths) EXPECT_GE(w, 2);
+  // The emitted descriptor carries the identical record.
+  EXPECT_NE(source.find("static const char spiral_jit_vec_stages[] = \"" +
+                        rep.vec_stages_string() + "\";"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// 2. Seeded emitter defects: each kind yields its intended diagnostic.
+// ---------------------------------------------------------------------
+
+TEST(CodegenCheckMutants, StrideSkewCaughtAsFootprintMismatch) {
+  const analysis::CodegenReport rep =
+      check_mutant_emission(backend::CodegenMutation::kStrideSkew);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_GT(rep.count(analysis::CodegenDiag::kFootprintMismatch), 0)
+      << rep.to_string();
+  // The skewed footprint also walks off the end of the buffers, which
+  // the verify() re-run of the reconstructed program must notice.
+  EXPECT_GT(rep.count(analysis::CodegenDiag::kEmittedUnsafe), 0)
+      << rep.to_string();
+}
+
+TEST(CodegenCheckMutants, DropBarrierCaughtAsMissingBarrier) {
+  const analysis::CodegenReport rep =
+      check_mutant_emission(backend::CodegenMutation::kDropBarrier);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_GT(rep.count(analysis::CodegenDiag::kMissingBarrier), 0)
+      << rep.to_string();
+}
+
+TEST(CodegenCheckMutants, SwapLanesCaughtAsLaneMismatch) {
+  // Non-vacuity: the unmutated emission of this config has vector
+  // stages (asserted in VecStageRecordMatchesDescriptor), so the lane
+  // swap is live.
+  const analysis::CodegenReport rep =
+      check_mutant_emission(backend::CodegenMutation::kSwapLanes);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_GT(rep.count(analysis::CodegenDiag::kLaneMismatch), 0)
+      << rep.to_string();
+}
+
+TEST(CodegenCheckMutants, NarrowIndexCaughtAsNarrowedIndex) {
+  const analysis::CodegenReport rep =
+      check_mutant_emission(backend::CodegenMutation::kNarrowIndex);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_GT(rep.count(analysis::CodegenDiag::kNarrowedIndex), 0)
+      << rep.to_string();
+}
+
+// Clearing the mutation restores byte-identical clean emission.
+TEST(CodegenCheckMutants, MutationIsScopedAndRestorable) {
+  const backend::StageList& list = mutant_list();
+  const std::string before = emit_jit_shaped(list, 4);
+  {
+    MutationGuard guard(backend::CodegenMutation::kStrideSkew);
+    EXPECT_NE(emit_jit_shaped(list, 4), before);
+  }
+  EXPECT_EQ(backend::codegen_mutation(), backend::CodegenMutation::kNone);
+  EXPECT_EQ(emit_jit_shaped(list, 4), before);
+}
+
+// ---------------------------------------------------------------------
+// 3. String-level tampering: the validator reads the text, so defects
+//    introduced *after* emission (or by an emitter bug we did not seed)
+//    are caught too.
+// ---------------------------------------------------------------------
+
+class CodegenTamperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    list_ = mutant_list();
+    source_ = emit_jit_shaped(list_, 4);
+    analysis::CodegenReport rep =
+        analysis::check_codegen(source_, list_, check_options(list_, 4));
+    ASSERT_TRUE(rep.clean()) << rep.to_string();
+  }
+
+  [[nodiscard]] analysis::CodegenReport check(const std::string& src) const {
+    return analysis::check_codegen(src, list_, check_options(list_, 4));
+  }
+
+  /// Replaces the first occurrence of `from` (must exist) with `to`.
+  [[nodiscard]] std::string tampered(const std::string& from,
+                                     const std::string& to) const {
+    std::string src = source_;
+    const std::size_t pos = src.find(from);
+    EXPECT_NE(pos, std::string::npos) << "tamper anchor missing: " << from;
+    if (pos != std::string::npos) src.replace(pos, from.size(), to);
+    return src;
+  }
+
+  backend::StageList list_;
+  std::string source_;
+};
+
+TEST_F(CodegenTamperTest, RemovedInterStageBarrierFlagged) {
+  // Drop the first pool_barrier() inside run_program (the stage walk),
+  // leaving the pool protocol's own barriers intact.
+  const std::size_t walk = source_.find("static void run_program(");
+  ASSERT_NE(walk, std::string::npos);
+  const std::string barrier = "  pool_barrier();\n";
+  std::string src = source_;
+  const std::size_t pos = src.find(barrier, walk);
+  ASSERT_NE(pos, std::string::npos);
+  src.erase(pos, barrier.size());
+  const analysis::CodegenReport rep = check(src);
+  EXPECT_GT(rep.count(analysis::CodegenDiag::kMissingBarrier), 0)
+      << rep.to_string();
+}
+
+TEST_F(CodegenTamperTest, NonAtomicJobPointerFlagged) {
+  // The gcc IPA-modref miscompile class: a plain (non-_Atomic) job
+  // pointer lets the compiler hoist its load above the dispatch barrier.
+  const analysis::CodegenReport rep = check(tampered(
+      "static const double *_Atomic job_x;", "static const double *job_x;"));
+  EXPECT_GT(rep.count(analysis::CodegenDiag::kNonAtomicJobDispatch), 0)
+      << rep.to_string();
+}
+
+TEST_F(CodegenTamperTest, PerturbedTwiddleValueFlagged) {
+  // One wrong twiddle constant: structurally a perfectly-shaped codelet,
+  // but its linear map no longer equals the DFT matrix — only the
+  // symbolic unit-vector application can see this.
+  const analysis::CodegenReport rep = check(
+      tampered("{1,6.123233995736766e-17}", "{1,0.125}"));
+  EXPECT_GT(rep.count(analysis::CodegenDiag::kCodeletMismatch), 0)
+      << rep.to_string();
+}
+
+TEST_F(CodegenTamperTest, CorruptedDescriptorFingerprintFlagged) {
+  const std::uint64_t fp = jit::program_fingerprint(list_);
+  const analysis::CodegenReport rep =
+      check(tampered(std::to_string(fp) + "ULL",
+                     std::to_string(fp ^ 1) + "ULL"));
+  EXPECT_GT(rep.count(analysis::CodegenDiag::kShapeMismatch), 0)
+      << rep.to_string();
+}
+
+TEST_F(CodegenTamperTest, ForeignDialectRejected) {
+  // A TU the emitter never produced (e.g. OpenMP output) must be a
+  // parse error, not a silent pass.
+  const analysis::CodegenReport rep =
+      check("#pragma omp parallel for\nint main(void) { return 0; }\n");
+  EXPECT_FALSE(rep.clean());
+  EXPECT_GT(rep.count(analysis::CodegenDiag::kParseError) +
+                rep.count(analysis::CodegenDiag::kShapeMismatch),
+            0)
+      << rep.to_string();
+}
+
+// ---------------------------------------------------------------------
+// 4. Edge cases of the dialect.
+// ---------------------------------------------------------------------
+
+// Single codelet stage (n <= leaf): one stage, no barriers, trivial
+// ping-pong chain.
+TEST(CodegenCheckEdge, SingleStageCodeletProgram) {
+  const backend::StageList list = backend::lower_fused(
+      rewrite::formula_from_ruletree(rewrite::balanced_ruletree(16)));
+  ASSERT_EQ(list.stages.size(), 1u);
+  const std::string source = emit_jit_shaped(list, 0);
+  const analysis::CodegenReport rep =
+      analysis::check_codegen(source, list, check_options(list, 0));
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+  EXPECT_EQ(rep.stages, 1);
+}
+
+// Sequential-only derivation (p=1): no pool, no pthreads preamble at
+// all — and the validator accepts the sequential entry shape.
+TEST(CodegenCheckEdge, SequentialPlanHasNoPthreadsAndValidates) {
+  const backend::StageList list = planned_list(256, 1, 0);
+  const std::string source = emit_jit_shaped(list, 0);
+  EXPECT_EQ(source.find("pthread"), std::string::npos);
+  EXPECT_EQ(source.find("pool_"), std::string::npos);
+  const analysis::CodegenReport rep =
+      analysis::check_codegen(source, list, check_options(list, 0));
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+// A deterministic multicore derivation (not via the planner): the
+// paper's DFT_256 = CT(16,16) smp(2,2) program, vectorized at nu=4.
+TEST(CodegenCheckEdge, MulticoreDerivationValidates) {
+  const backend::StageList list = backend::lower_fused(
+      rewrite::expand_dfts_balanced(rewrite::derive_multicore_ct(256, 16, 2, 2)));
+  const std::string source = emit_jit_shaped(list, 4);
+  EXPECT_NE(source.find("pool_barrier"), std::string::npos);
+  const analysis::CodegenReport rep =
+      analysis::check_codegen(source, list, check_options(list, 4));
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+// Per-thread chunk bounds that are not multiples of the vector width
+// (p=3 over pow2 iteration counts) force the emitted scalar head/tail
+// remainder loops around every vector loop; the validator must accept
+// the remainder structure and still prove the footprints.
+TEST(CodegenCheckEdge, RemainderLoopsFromUnalignedChunksValidate) {
+  backend::StageList list = planned_list(4096, 4, 4);
+  bool retagged = false;
+  for (auto& s : list.stages) {
+    if (s.parallel_p > 1) {
+      s.parallel_p = 3;
+      retagged = true;
+    }
+  }
+  ASSERT_TRUE(retagged);
+  const std::string source = emit_jit_shaped(list, 4);
+  // Non-vacuity: the emission contains a scalar-head call, i.e. at
+  // least one chunk really is vector-unaligned.
+  EXPECT_NE(source.find("if (lo < va) stage"), std::string::npos);
+  const analysis::CodegenReport rep =
+      analysis::check_codegen(source, list, check_options(list, 4));
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+// nu=2 (half-width) emission also validates: the width recorded per
+// stage is what the maps prove, not blindly opts.simd_nu.
+TEST(CodegenCheckEdge, HalfWidthVectorEmissionValidates) {
+  const backend::StageList& list = mutant_list();
+  const std::string source = emit_jit_shaped(list, 2);
+  const analysis::CodegenReport rep =
+      analysis::check_codegen(source, list, check_options(list, 2));
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+  for (idx_t w : rep.vec_stage_widths) EXPECT_EQ(w, 2);
+}
+
+// ---------------------------------------------------------------------
+// 5. The jit:: gate: findings become kCodegenCheckFailed before the
+//    compiler runs; the plan keeps the interpreter and stays correct.
+// ---------------------------------------------------------------------
+
+class CodegenJitGateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/spiral-cgc-test-XXXXXX";
+    char* dir = ::mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+    cache_dir_ = dir;
+    jit::reset_stats();
+  }
+  void TearDown() override {
+    backend::set_codegen_mutation(backend::CodegenMutation::kNone);
+    std::error_code ec;
+    fs::remove_all(cache_dir_, ec);
+  }
+
+  std::string cache_dir_;
+};
+
+bool compiler_available() { return !jit::resolve_compiler({}).empty(); }
+
+TEST_F(CodegenJitGateTest, MutatedEmissionRejectedBeforeCompiling) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  const backend::StageList list = planned_list(4096, 4, 4);
+  jit::Options opt;
+  opt.cache_dir = cache_dir_;
+  // The cache key does not (and must not) include the seeded mutation —
+  // the mutation corrupts only the rendered text — so bypass the cache
+  // to force a fresh emission.
+  opt.use_cache = false;
+  opt.simd_nu = 4;
+
+  MutationGuard guard(backend::CodegenMutation::kStrideSkew);
+  const jit::Compiled out = jit::compile_program(list, opt);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.report.status, jit::JitStatus::kCodegenCheckFailed)
+      << out.report.to_string();
+  EXPECT_NE(out.report.message.find("footprint"), std::string::npos)
+      << out.report.message;
+  // Rejected *statically*: the compiler was never invoked.
+  EXPECT_EQ(jit::stats().compiles, 0u);
+}
+
+TEST_F(CodegenJitGateTest, GateCanBeDisabled) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  const backend::StageList list = planned_list(64, 1, 0);
+  jit::Options opt;
+  opt.cache_dir = cache_dir_;
+  opt.use_cache = false;
+  opt.validate_codegen = false;
+  const jit::Compiled out = jit::compile_program(list, opt);
+  EXPECT_TRUE(out.ok()) << out.report.to_string();
+}
+
+TEST_F(CodegenJitGateTest, PlanFallsBackToInterpreterAndStaysCorrect) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  const idx_t n = 256;
+  core::PlannerOptions opt;
+  opt.jit = true;
+  opt.jit_options.cache_dir = cache_dir_;
+  opt.jit_options.use_cache = false;
+
+  MutationGuard guard(backend::CodegenMutation::kDropBarrier);
+  auto plan = core::plan_dft(n, opt);
+  // Sequential n=256 has no barriers to drop — force a parallel plan.
+  core::PlannerOptions popt = opt;
+  popt.threads = 4;
+  auto pplan = core::plan_dft(4096, popt);
+  EXPECT_EQ(pplan->jit_report().status, jit::JitStatus::kCodegenCheckFailed)
+      << pplan->jit_report().to_string();
+
+  util::Rng rng(11);
+  const auto x = rng.complex_signal(n);
+  util::cvec y(x.size());
+  plan->execute(x.data(), y.data());
+  EXPECT_LT(max_diff(y, reference_dft(x)), fft_tolerance(n));
+}
+
+TEST_F(CodegenJitGateTest, ReportCarriesSimdNuAndVecStages) {
+  if (!compiler_available()) GTEST_SKIP() << "no system C compiler";
+  core::PlannerOptions opt;
+  opt.threads = 4;
+  opt.vector_nu = 4;
+  opt.jit = true;
+  opt.jit_options.cache_dir = cache_dir_;
+  auto plan = core::plan_dft(4096, opt);
+  ASSERT_TRUE(plan->jit_report().ok()) << plan->jit_report().to_string();
+  EXPECT_EQ(plan->jit_report().simd_nu, 4);
+  // "si:w,...": at least one stage vectorized at this config, and the
+  // record round-trips through the compiled module's descriptor.
+  EXPECT_NE(plan->jit_report().vec_stages.find(":4"), std::string::npos)
+      << "vec_stages=\"" << plan->jit_report().vec_stages << "\"";
+}
+
+}  // namespace
+}  // namespace spiral

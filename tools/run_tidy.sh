@@ -1,10 +1,22 @@
 #!/usr/bin/env bash
-# Static-analysis sweep driver. Runs the curated .clang-tidy check list
-# over src/ and tools/ when clang-tidy is installed (the CI job path —
-# no baseline filter: the tree is expected to be clean). When clang-tidy
-# is unavailable (minimal containers ship only gcc), falls back to a
-# strict-warning compile sweep that covers the conversion/narrowing
-# portion of the check list; the tree is kept clean under both.
+# Static-analysis sweep driver with a tool-availability ladder:
+#
+#   1. clang-tidy   — the curated .clang-tidy check list over src/ and
+#                     tools/ (the richest checker set; no baseline
+#                     filter: the tree is expected to be clean).
+#   2. cppcheck     — warning/performance/portability checkers with the
+#                     in-tree triaged suppression list
+#                     (tools/cppcheck_suppressions.txt).
+#   3. gcc -fanalyzer — GCC's interprocedural path-sensitive analyzer,
+#                     run in parallel per TU with the triaged
+#                     suppressions documented in
+#                     tools/gcc_analyzer_suppressions.txt.
+#
+# Whichever tier is selected, the strict-warning syntax sweep
+# (-Wall -Wextra -Wconversion -Wsign-conversion -Werror) always runs
+# first: it is cheap, covers the conversion/narrowing checks on every
+# toolchain, and the tree is kept clean under it. Minimal containers
+# that ship only gcc still get tier 3 plus the strict sweep.
 #
 # Usage: tools/run_tidy.sh [build-dir]
 set -euo pipefail
@@ -12,23 +24,73 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-if command -v run-clang-tidy >/dev/null 2>&1; then
+files_src() { git ls-files 'src/**/*.cpp' 'tools/*.cpp'; }
+files_all() { git ls-files 'src/**/*.cpp' 'tools/*.cpp' 'bench/*.cpp'; }
+
+# --- Tier 0 (always): strict-warning compile sweep -------------------
+# -Wno-psabi: the sweep compiles every TU without the per-file SIMD
+# target flags the real build passes (src/backend/CMakeLists.txt), so
+# GCC would note that AVX/AVX512 vector types in simd_kernels.hpp change
+# the ABI. Same triaged rationale as tools/gcc_analyzer_suppressions.txt.
+echo "strict-warning sweep (g++ -Werror)..." >&2
+status=0
+while IFS= read -r f; do
+  if ! g++ -std=c++20 -fsyntax-only -Wall -Wextra -Wconversion \
+      -Wsign-conversion -Wno-psabi -Werror -I src -I bench "$f"; then
+    status=1
+  fi
+done < <(files_all)
+if [ "$status" -ne 0 ]; then
+  echo "strict-warning sweep FAILED." >&2
+  exit "$status"
+fi
+echo "strict-warning sweep clean." >&2
+
+# --- Tier 1: clang-tidy ----------------------------------------------
+if command -v run-clang-tidy >/dev/null 2>&1 &&
+   command -v clang-tidy >/dev/null 2>&1; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  files=$(git ls-files 'src/**/*.cpp' 'tools/*.cpp')
-  # shellcheck disable=SC2086
-  run-clang-tidy -p "$BUILD_DIR" -quiet $files
+  # shellcheck disable=SC2046
+  run-clang-tidy -p "$BUILD_DIR" -quiet $(files_src)
   echo "clang-tidy sweep clean."
   exit 0
 fi
 
-echo "clang-tidy not found; strict-warning fallback sweep (g++)." >&2
-status=0
-while IFS= read -r f; do
-  if ! g++ -std=c++20 -fsyntax-only -Wall -Wextra -Wconversion \
-      -Wsign-conversion -Werror -I src -I bench "$f"; then
-    status=1
+# --- Tier 2: cppcheck ------------------------------------------------
+if command -v cppcheck >/dev/null 2>&1; then
+  echo "clang-tidy not found; running cppcheck." >&2
+  # shellcheck disable=SC2046
+  cppcheck --std=c++20 --language=c++ \
+    --enable=warning,performance,portability \
+    --inline-suppr --suppressions-list=tools/cppcheck_suppressions.txt \
+    --error-exitcode=1 --quiet -I src -I bench $(files_all)
+  echo "cppcheck sweep clean."
+  exit 0
+fi
+
+# --- Tier 3: gcc -fanalyzer ------------------------------------------
+# Probe first: -fanalyzer exists since GCC 10 but only became usable on
+# this tree's C++ around GCC 12; a failed probe leaves the strict sweep
+# above as the verdict.
+if echo 'int main(){return 0;}' | \
+   g++ -std=c++20 -fanalyzer -x c++ - -c -o /dev/null 2>/dev/null; then
+  echo "clang-tidy/cppcheck not found; running gcc -fanalyzer sweep." >&2
+  # Triaged suppressions — the rationale for every flag lives in
+  # tools/gcc_analyzer_suppressions.txt; keep the two in sync.
+  suppress=$(grep -v '^#' tools/gcc_analyzer_suppressions.txt | \
+             grep -v '^[[:space:]]*$' | tr '\n' ' ')
+  jobs=$(nproc 2>/dev/null || echo 4)
+  # shellcheck disable=SC2086
+  if ! files_all | xargs -P "$jobs" -I{} \
+      g++ -std=c++20 -fanalyzer -Wall -Wextra -Werror $suppress \
+          -I src -I bench -c {} -o /dev/null; then
+    echo "gcc -fanalyzer sweep FAILED." >&2
+    exit 1
   fi
-done < <(git ls-files 'src/**/*.cpp' 'tools/*.cpp' 'bench/*.cpp')
-[ "$status" -eq 0 ] && echo "strict-warning sweep clean."
-exit "$status"
+  echo "gcc -fanalyzer sweep clean."
+  exit 0
+fi
+
+echo "no deep analyzer available; strict-warning sweep is the verdict."
+exit 0

@@ -38,11 +38,14 @@
 #include <string>
 #include <vector>
 
+#include "analysis/codegen_check.hpp"
 #include "analysis/locality.hpp"
 #include "analysis/rule_audit.hpp"
 #include "analysis/verify.hpp"
+#include "backend/codegen_c.hpp"
 #include "backend/lower.hpp"
 #include "backend/simd.hpp"
+#include "jit/jit.hpp"
 #include "core/spiral_fft.hpp"
 #include "machine/config.hpp"
 #include "spl/dense.hpp"
@@ -76,6 +79,15 @@ void usage() {
                " walk (caught by --check-exec)\n"
                "       --mutate-vecform     mis-report strided-lane SIMD"
                " shapes as contiguous (caught by --check-exec)\n"
+               "       --validate-codegen   statically validate the emitted"
+               " JIT C against the plan's\n"
+               "                            stage list"
+               " (analysis::codegen_check; no compiler involved)\n"
+               "       --mutate-codegen=K   seed an emitter defect before"
+               " validating; K one of\n"
+               "                            stride-skew, drop-barrier,"
+               " swap-lanes, narrow-index\n"
+               "                            (implies --validate-codegen)\n"
                "       --check-exec         also execute each plan against"
                " its formula's dense matrix\n"
                "       --analyze-locality   static cache-traffic analysis"
@@ -103,6 +115,9 @@ struct LintItem {
   bool locality_checked = false;
   bool locality_ok = true;
   spiral::analysis::LocalityReport locality;
+  bool codegen_checked = false;
+  bool codegen_ok = true;
+  spiral::analysis::CodegenReport codegen;
 };
 
 /// Minimal JSON string escape for plan names (quotes and backslashes;
@@ -139,6 +154,34 @@ void check_locality(const spiral::backend::StageList& list, int threads,
   }
   item->locality_checked = true;
   item->locality_ok = item->locality.clean(max_ratio);
+}
+
+/// --validate-codegen: emits the plan's program exactly the way the JIT
+/// would (hardened ABI, pthreads pool when parallel, the requested SIMD
+/// width) and runs the static translation validator on the result. With
+/// --mutate-codegen a seeded emitter defect is active, and CI gates on
+/// the validator catching it — before any compiler runs.
+void check_codegen_emission(const spiral::backend::StageList& list,
+                            spiral::idx_t nu, spiral::idx_t mu,
+                            LintItem* item) {
+  using namespace spiral;
+  idx_t maxp = 1;
+  for (const auto& s : list.stages) maxp = std::max(maxp, s.parallel_p);
+  backend::CodegenOptions cg;
+  cg.function_name = "spiral_jit_entry";
+  cg.jit_abi = true;
+  cg.fingerprint = jit::program_fingerprint(list);
+  cg.threading = maxp > 1 ? backend::CodegenThreading::kPthreadsPool
+                          : backend::CodegenThreading::kNone;
+  cg.simd_nu = nu;
+  const std::string source = backend::emit_c(list, cg);
+  analysis::CodegenCheckOptions cko;
+  cko.mu = mu;
+  cko.expect_fingerprint = cg.fingerprint;
+  cko.expect_simd_nu = nu;
+  item->codegen = analysis::check_codegen(source, list, cko);
+  item->codegen_checked = true;
+  item->codegen_ok = item->codegen.clean();
 }
 
 /// Executes `plan` on a seeded random signal and compares against the
@@ -296,6 +339,30 @@ int run(const spiral::util::CliArgs& args) {
                           args.has("mutate-pingpong") ||
                           args.has("mutate-vecform");
 
+  // Emitter mutations imply the static codegen validation that catches
+  // them (the seeded bug lives in the rendered C text only — the plan,
+  // the interpreter, and the JIT cache key all stay truthful).
+  const bool validate_codegen =
+      args.has("validate-codegen") || args.has("mutate-codegen");
+  if (args.has("mutate-codegen")) {
+    const std::string kind = args.get("mutate-codegen");
+    if (kind == "stride-skew") {
+      backend::set_codegen_mutation(backend::CodegenMutation::kStrideSkew);
+    } else if (kind == "drop-barrier") {
+      backend::set_codegen_mutation(backend::CodegenMutation::kDropBarrier);
+    } else if (kind == "swap-lanes") {
+      backend::set_codegen_mutation(backend::CodegenMutation::kSwapLanes);
+    } else if (kind == "narrow-index") {
+      backend::set_codegen_mutation(backend::CodegenMutation::kNarrowIndex);
+    } else {
+      std::fprintf(stderr,
+                   "spiral-lint: unknown --mutate-codegen kind '%s' (want "
+                   "stride-skew, drop-barrier, swap-lanes or narrow-index)\n",
+                   kind.c_str());
+      return kExitUsage;
+    }
+  }
+
   std::vector<LintItem> items;
 
   if (args.has("wisdom")) {
@@ -332,6 +399,10 @@ int run(const spiral::util::CliArgs& args) {
         if (!args.has("mu") && !args.has("machine")) per_plan.mu = d.mu;
         item.report = analysis::verify(plan->stages(), per_plan);
         if (check_exec) check_execution(*plan, &item);
+        if (validate_codegen) {
+          check_codegen_emission(plan->stages(), args.get_int("nu", 0),
+                                 per_plan.mu, &item);
+        }
         if (analyze_locality) {
           const auto cfg = machine_named
                                ? lint_machine
@@ -401,6 +472,9 @@ int run(const spiral::util::CliArgs& args) {
       item.report = analysis::verify(plan->stages(), vo);
     }
     if (check_exec) check_execution(*plan, &item);
+    if (validate_codegen) {
+      check_codegen_emission(plan->stages(), base.vector_nu, vo.mu, &item);
+    }
     if (analyze_locality) {
       const auto cfg =
           machine_named ? lint_machine
@@ -420,21 +494,27 @@ int run(const spiral::util::CliArgs& args) {
   std::size_t dirty = 0;
   std::size_t exec_fail = 0;
   std::size_t traffic_fail = 0;
+  std::size_t codegen_fail = 0;
   for (const auto& item : items) {
     errors += item.report.error_count();
     warnings += item.report.warning_count();
     const bool bad_exec = item.exec_checked && !item.exec_ok;
     const bool bad_locality = item.locality_checked && !item.locality_ok;
+    const bool bad_codegen = item.codegen_checked && !item.codegen_ok;
     if (bad_exec) ++exec_fail;
     if (bad_locality) ++traffic_fail;
+    if (bad_codegen) ++codegen_fail;
     if (json) continue;  // reports go out as one JSON array below
-    if (!item.report.clean() || bad_exec || bad_locality) {
+    if (!item.report.clean() || bad_exec || bad_locality || bad_codegen) {
       ++dirty;
       std::printf("FAIL %s\n", item.name.c_str());
       if (bad_exec) {
         std::printf("  execution parity: max deviation %.3e from the "
                     "formula's dense semantics\n",
                     item.exec_err);
+      }
+      if (bad_codegen) {
+        std::printf("%s", item.codegen.to_string().c_str());
       }
       if (bad_locality) {
         std::printf("  locality: false-sharing=%lld traffic-ratio=%.3f "
@@ -449,9 +529,14 @@ int run(const spiral::util::CliArgs& args) {
         }
       }
     } else if (!quiet) {
-      std::printf("ok   %s%s%s\n", item.name.c_str(),
+      std::printf("ok   %s%s%s%s\n", item.name.c_str(),
                   item.exec_checked ? " [exec parity ok]" : "",
-                  item.locality_checked ? " [locality clean]" : "");
+                  item.locality_checked ? " [locality clean]" : "",
+                  item.codegen_checked ? " [codegen validated]" : "");
+      if (item.codegen_checked && !item.codegen.vec_stage_ids.empty()) {
+        std::printf("  codegen vec stages: %s\n",
+                    item.codegen.vec_stages_string().c_str());
+      }
       if (item.locality_checked && analyze_locality) {
         std::printf("%s", item.locality.to_string().c_str());
       }
@@ -465,7 +550,9 @@ int run(const spiral::util::CliArgs& args) {
       const auto& item = items[i];
       const bool bad_exec = item.exec_checked && !item.exec_ok;
       const bool bad_locality = item.locality_checked && !item.locality_ok;
-      const bool ok = item.report.clean() && !bad_exec && !bad_locality;
+      const bool bad_codegen = item.codegen_checked && !item.codegen_ok;
+      const bool ok = item.report.clean() && !bad_exec && !bad_locality &&
+                      !bad_codegen;
       if (!ok) ++dirty;
       std::printf("%s{\"name\":\"%s\",\"clean\":%s", i > 0 ? "," : "",
                   json_escape(item.name).c_str(), ok ? "true" : "false");
@@ -479,9 +566,9 @@ int run(const spiral::util::CliArgs& args) {
   std::fprintf(json ? stderr : stdout,
                "spiral-lint: %zu plan(s), %zu with findings (%zu error(s), "
                "%zu warning(s), %zu execution-parity failure(s), %zu traffic "
-               "gate failure(s))\n",
+               "gate failure(s), %zu codegen-validation failure(s))\n",
                items.size(), dirty, errors, warnings, exec_fail,
-               traffic_fail);
+               traffic_fail, codegen_fail);
   return dirty == 0 ? kExitClean : kExitFindings;
 }
 
