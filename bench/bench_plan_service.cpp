@@ -4,10 +4,12 @@
 //     and 1 vs N shards — the sharding win,
 //   * cold planning with and without imported wisdom — the wisdom win
 //     (descriptor replay skips the DP search).
+// --json=PATH additionally writes every row through bench::JsonRows.
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/plan_cache.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -67,6 +69,7 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("clients", int(std::thread::hardware_concurrency())));
 
   const auto reqs = working_set(kmin, kmax);
+  bench::JsonRows rows;
 
   std::printf("# Plan service throughput (%zu distinct keys)\n", reqs.size());
   std::printf("clients,shards,lookups_per_sec\n");
@@ -76,6 +79,11 @@ int main(int argc, char** argv) {
       for (const auto& r : reqs) (void)cache.dft(r.n, options_for(r));  // warm
       const double rate = hot_lookup_rate(cache, reqs, clients, iters);
       std::printf("%d,%zu,%.0f\n", clients, shards, rate);
+      rows.begin_row();
+      rows.field("experiment", "hot_lookup");
+      rows.field("clients", clients);
+      rows.field("shards", static_cast<std::int64_t>(shards));
+      rows.field("lookups_per_sec", rate);
     }
   }
 
@@ -104,5 +112,24 @@ int main(int argc, char** argv) {
   std::printf("# speedup: %.1fx (wisdom hits: %llu)\n",
               t_search / (t_replay > 0 ? t_replay : 1e-9),
               static_cast<unsigned long long>(warm.stats().wisdom_hits));
+  for (const auto& [mode, seconds] :
+       {std::pair<const char*, double>{"dp_search", t_search},
+        {"wisdom_replay", t_replay}}) {
+    rows.begin_row();
+    rows.field("experiment", "cold_planning");
+    rows.field("n", static_cast<std::int64_t>(n));
+    rows.field("mode", mode);
+    rows.field("seconds", seconds);
+  }
+
+  if (args.has("json")) {
+    const std::string path = args.get("json");
+    if (!rows.write(path)) {
+      std::fprintf(stderr, "bench_plan_service: cannot write '%s'\n",
+                   path.c_str());
+      return 2;
+    }
+    std::printf("# wrote %s\n", path.c_str());
+  }
   return 0;
 }

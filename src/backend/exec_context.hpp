@@ -10,15 +10,23 @@
 //   plan->execute(ctx, x, y);                 // safe from many threads,
 //                                             // one context per thread
 //
-// A context may be reused across programs (buffers grow to the largest
-// size seen; the worker pool is rebuilt only when a program needs more
-// threads than the pool has). A single context must NOT be used by two
-// threads at the same time — it is the per-caller half of the plan/context
-// split, not a synchronization primitive.
+// Worker pools are SHARED, not owned: a context leases its team from the
+// process-wide threading::PoolRegistry (keyed by thread count) on first
+// parallel execution and returns it on destruction or reset(). Plans
+// borrow whatever pool the caller's context holds, so destroying a plan
+// never tears a team down, and a fresh context on a server thread picks
+// up a warm team instead of cold-starting one (zero thread spawns —
+// asserted in the pool-sharing tests). A context may be reused across
+// programs (buffers grow to the largest size seen; the lease is swapped
+// only when a program needs more threads than the leased pool has). A
+// single context must NOT be used by two threads at the same time — it is
+// the per-caller half of the plan/context split, not a synchronization
+// primitive.
 #pragma once
 
 #include <memory>
 
+#include "threading/pool_registry.hpp"
 #include "threading/thread_pool.hpp"
 #include "util/aligned_vector.hpp"
 
@@ -35,15 +43,16 @@ class ExecContext {
   ExecContext& operator=(const ExecContext&) = delete;
 
   /// Borrows an external worker pool for this context (overrides the
-  /// lazily owned one). Pass nullptr to return to the owned pool. The
+  /// registry lease). Pass nullptr to return to the leased pool. The
   /// FFTW-like baseline uses this to model per-call thread start-up.
   void set_pool(threading::ThreadPool* pool) noexcept {
     borrowed_pool_ = pool;
   }
 
-  /// Releases the owned worker team and shrinks the scratch buffers.
+  /// Returns the leased worker team to the registry and shrinks the
+  /// scratch buffers.
   void reset() {
-    owned_pool_.reset();
+    lease_.release();
     stage_barrier_.reset();
     stage_barrier_size_ = 0;
     buf_[0].clear();
@@ -66,14 +75,15 @@ class ExecContext {
   }
 
   /// The pool parallel stages should dispatch to: an explicitly borrowed
-  /// team if set, else a persistent owned team (created on first use,
-  /// rebuilt only if a program needs more participants).
+  /// team if set, else the registry lease (acquired on first use, swapped
+  /// only if a program needs more participants than the leased team has —
+  /// programs needing fewer fold their tasks onto the larger team).
   threading::ThreadPool* pool_for(int threads) {
     if (borrowed_pool_ != nullptr) return borrowed_pool_;
-    if (!owned_pool_ || owned_pool_->size() < threads) {
-      owned_pool_ = std::make_unique<threading::ThreadPool>(threads);
+    if (!lease_ || lease_.pool()->size() < threads) {
+      lease_ = threading::global_pool_registry().acquire(threads);
     }
-    return owned_pool_.get();
+    return lease_.pool();
   }
 
   /// The team's inter-stage barrier for the fused executor: one
@@ -91,7 +101,7 @@ class ExecContext {
   }
 
   util::cvec buf_[2];
-  std::unique_ptr<threading::ThreadPool> owned_pool_;
+  threading::PoolLease lease_;
   threading::ThreadPool* borrowed_pool_ = nullptr;
   std::unique_ptr<threading::SpinBarrier> stage_barrier_;
   int stage_barrier_size_ = 0;

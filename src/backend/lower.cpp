@@ -403,6 +403,18 @@ std::int32_t affine_stride_mutation() noexcept {
 }
 
 namespace {
+std::atomic<idx_t> g_batch_stride_mutation{0};
+}  // namespace
+
+void set_batch_stride_mutation(idx_t delta) noexcept {
+  g_batch_stride_mutation.store(delta, std::memory_order_release);
+}
+
+idx_t batch_stride_mutation() noexcept {
+  return g_batch_stride_mutation.load(std::memory_order_acquire);
+}
+
+namespace {
 std::atomic<bool> g_twiddle_mutation{false};
 }  // namespace
 
@@ -416,6 +428,7 @@ bool twiddle_mutation() noexcept {
 
 int compact_affine(StageList& list) {
   const std::int32_t mutate = affine_stride_mutation();
+  const idx_t batch_mutate = batch_stride_mutation();
   int dropped = 0;
   for (auto& s : list.stages) {
     AffineMap a;
@@ -435,6 +448,12 @@ int compact_affine(StageList& list) {
         } else {
           a.iter_stride += mutate;
         }
+      }
+      if (batch_mutate != 0 && s.is_compute && s.cn > 1 && s.iters > 1) {
+        // Seeded batch-stride defect (see set_batch_stride_mutation):
+        // consecutive coalesced transforms land batch_mutate elements
+        // apart from where they should.
+        a.iter_stride += batch_mutate;
       }
       s.out_affine = true;
       s.out_aff = a;

@@ -50,6 +50,20 @@ int compact_affine(StageList& list);
 void set_affine_stride_mutation(std::int32_t delta) noexcept;
 [[nodiscard]] std::int32_t affine_stride_mutation() noexcept;
 
+/// Mutation-testing hook for coalesced batch programs (spiral-lint
+/// --mutate-batch-stride): when delta != 0, compact_affine() skews the
+/// out-side ITERATION stride of every compute stage it compacts —
+/// modelling a batch executor that packed k transforms with the wrong
+/// per-transform stride, so consecutive transforms' outputs overlap (or
+/// leave gaps). Unlike --mutate-affine this leaves the within-codelet
+/// element stride intact; the defect is between loop iterations, which
+/// for an I_k (x) DFT_n stage is between the k coalesced transforms.
+/// analysis::verify must flag it (duplicate writes / lost elements /
+/// bounds) and --check-exec must fail parity. Never set outside tests
+/// and spiral-lint's WILL_FAIL gate.
+void set_batch_stride_mutation(idx_t delta) noexcept;
+[[nodiscard]] idx_t batch_stride_mutation() noexcept;
+
 /// Mutation-testing hook (spiral-lint --mutate-twiddle): when enabled,
 /// lower_fused() conjugates every fused scale entry (the twiddle
 /// diagonals of rule (3)/(6)), producing a program that is structurally

@@ -1,0 +1,91 @@
+#include "threading/pool_registry.hpp"
+
+#include <algorithm>
+
+namespace spiral::threading {
+
+/// Registry internals, shared (via shared_ptr) with every outstanding
+/// lease so returns stay safe regardless of destruction order: a lease
+/// returning after the registry died finds the weak_ptr expired and
+/// destroys its pool instead.
+struct PoolLease::State {
+  mutable std::mutex m;
+  std::vector<std::shared_ptr<ThreadPool>> idle;  // any size, searched
+  std::uint64_t acquires = 0;
+  std::uint64_t reuses = 0;
+  std::uint64_t created = 0;
+};
+
+void PoolLease::release() noexcept {
+  if (!pool_) return;
+  if (auto home = home_.lock()) {
+    std::lock_guard<std::mutex> lock(home->m);
+    std::size_t same_size = 0;
+    for (const auto& p : home->idle) {
+      if (p->size() == pool_->size()) ++same_size;
+    }
+    if (same_size < PoolRegistry::kMaxIdlePerSize) {
+      home->idle.push_back(std::move(pool_));
+    }
+    // else: drop the pool (destroyed below) — idle cache is bounded.
+  }
+  pool_.reset();
+  home_.reset();
+}
+
+PoolRegistry::PoolRegistry() : state_(std::make_shared<PoolLease::State>()) {}
+
+PoolLease PoolRegistry::acquire(int threads) {
+  util::require(threads >= 1, "PoolRegistry::acquire: threads must be >= 1");
+  PoolLease lease;
+  lease.home_ = state_;
+  {
+    std::lock_guard<std::mutex> lock(state_->m);
+    ++state_->acquires;
+    auto it = std::find_if(
+        state_->idle.begin(), state_->idle.end(),
+        [threads](const auto& p) { return p->size() == threads; });
+    if (it != state_->idle.end()) {
+      ++state_->reuses;
+      lease.pool_ = std::move(*it);
+      state_->idle.erase(it);
+      return lease;
+    }
+    ++state_->created;
+  }
+  // Construction outside the lock: spawning threads is the slow path and
+  // other contexts should keep acquiring meanwhile.
+  lease.pool_ = std::make_shared<ThreadPool>(threads);
+  return lease;
+}
+
+void PoolRegistry::trim() {
+  std::vector<std::shared_ptr<ThreadPool>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(state_->m);
+    doomed.swap(state_->idle);
+  }
+  // Pools (and their worker threads) die outside the lock.
+}
+
+PoolRegistry::Stats PoolRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(state_->m);
+  return {state_->acquires, state_->reuses, state_->created};
+}
+
+void PoolRegistry::reset_stats() {
+  std::lock_guard<std::mutex> lock(state_->m);
+  state_->acquires = state_->reuses = state_->created = 0;
+}
+
+std::size_t PoolRegistry::idle_count() const {
+  std::lock_guard<std::mutex> lock(state_->m);
+  return state_->idle.size();
+}
+
+PoolRegistry& global_pool_registry() {
+  static PoolRegistry registry;
+  return registry;
+}
+
+}  // namespace spiral::threading

@@ -1,0 +1,110 @@
+// Shared worker-pool registry: persistent thread teams leased across
+// plans, contexts and client threads.
+//
+// Before this registry each backend::ExecContext owned its worker pool,
+// so every fresh context — a new server thread, a short-lived caller, the
+// self-context a plan's convenience execute() uses — paid thread start-up
+// before its first parallel transform (the very cost the paper's
+// "thread pooling" is about). The registry turns pools into a shared,
+// process-wide resource:
+//
+//   * acquire(p) leases an idle pool with exactly p participants,
+//     creating one only when none is free — a context that dies returns
+//     its pool, and the next context picks the warm team up without
+//     spawning a single thread;
+//   * a lease is exclusive: while held, no other context can run on that
+//     pool, which preserves ThreadPool's one-caller-at-a-time contract;
+//   * leases are destruction-order-safe: a lease that outlives the
+//     registry (static teardown, leaked contexts) simply destroys its
+//     pool instead of returning it.
+//
+// The spawn counter (ThreadPool::threads_spawned) is the observable the
+// tests gate on: a second plan executing on a reused pool must show a
+// delta of zero.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "threading/thread_pool.hpp"
+
+namespace spiral::threading {
+
+class PoolRegistry;
+
+/// Exclusive RAII lease on a registry pool. Movable; returning the pool
+/// (destruction or release()) makes it available to the next acquire().
+class PoolLease {
+ public:
+  PoolLease() = default;
+  PoolLease(PoolLease&& o) noexcept
+      : pool_(std::move(o.pool_)), home_(std::move(o.home_)) {
+    o.pool_.reset();
+    o.home_.reset();
+  }
+  PoolLease& operator=(PoolLease&& o) noexcept {
+    if (this != &o) {
+      release();
+      pool_ = std::move(o.pool_);
+      home_ = std::move(o.home_);
+      o.pool_.reset();
+      o.home_.reset();
+    }
+    return *this;
+  }
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+  ~PoolLease() { release(); }
+
+  /// The leased pool (nullptr for an empty lease).
+  [[nodiscard]] ThreadPool* pool() const noexcept { return pool_.get(); }
+  explicit operator bool() const noexcept { return pool_ != nullptr; }
+
+  /// Returns the pool to its registry's idle list (or destroys it when
+  /// the registry is already gone). The lease is empty afterwards.
+  void release() noexcept;
+
+ private:
+  friend class PoolRegistry;
+  struct State;  // the registry internals the lease returns the pool to
+  std::shared_ptr<ThreadPool> pool_;
+  std::weak_ptr<State> home_;
+};
+
+class PoolRegistry {
+ public:
+  /// Idle pools kept per participant count; beyond this, returned pools
+  /// are destroyed instead of cached (bounds idle threads when many
+  /// short-lived contexts churn).
+  static constexpr std::size_t kMaxIdlePerSize = 8;
+
+  PoolRegistry();
+
+  /// Leases a pool with exactly `threads` participants: an idle one when
+  /// available (zero thread spawns), a freshly created one otherwise.
+  [[nodiscard]] PoolLease acquire(int threads);
+
+  /// Destroys all idle pools (leased pools are unaffected).
+  void trim();
+
+  struct Stats {
+    std::uint64_t acquires = 0;  ///< total acquire() calls
+    std::uint64_t reuses = 0;    ///< acquires served from the idle list
+    std::uint64_t created = 0;   ///< pools constructed (threads spawned)
+  };
+  [[nodiscard]] Stats stats() const;
+  void reset_stats();
+
+  /// Idle pools currently cached.
+  [[nodiscard]] std::size_t idle_count() const;
+
+ private:
+  std::shared_ptr<PoolLease::State> state_;
+};
+
+/// The process-wide registry every ExecContext borrows from.
+[[nodiscard]] PoolRegistry& global_pool_registry();
+
+}  // namespace spiral::threading

@@ -2,6 +2,14 @@
 
 namespace spiral::threading {
 
+namespace {
+std::atomic<std::uint64_t> g_threads_spawned{0};
+}  // namespace
+
+std::uint64_t ThreadPool::threads_spawned() noexcept {
+  return g_threads_spawned.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(int threads)
     : threads_(threads),
       start_barrier_(threads),
@@ -10,6 +18,7 @@ ThreadPool::ThreadPool(int threads)
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int id = 1; id < threads; ++id) {
     workers_.emplace_back([this, id] { worker_loop(id); });
+    g_threads_spawned.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -12,6 +12,8 @@
 //   * dispatch and completion use the sense-reversing spin barrier.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -33,10 +35,18 @@ class ThreadPool {
   /// Number of participants (including the caller).
   [[nodiscard]] int size() const noexcept { return threads_; }
 
+  /// Process-wide count of OS threads spawned by ThreadPool constructors.
+  /// The pool-sharing tests assert on deltas of this counter to prove a
+  /// reused pool never re-spawns its team (the cold-start the service
+  /// layer exists to avoid).
+  [[nodiscard]] static std::uint64_t threads_spawned() noexcept;
+
   /// Executes fn(task_id) for task_id in [0, size()) — one task per
   /// participant, caller runs task 0. Blocks until all tasks finished.
-  /// Must be called from the thread that constructed the pool and must
-  /// not be re-entered from inside a task.
+  /// The caller acts as participant 0, so any thread may call run() —
+  /// the pool is handed between threads by the PoolRegistry — but calls
+  /// must be serialized (one run() at a time) and must not be re-entered
+  /// from inside a task.
   void run(const std::function<void(int)>& fn);
 
   /// Executes fn(i) for i in [0, count), distributing iterations over the

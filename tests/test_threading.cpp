@@ -1,14 +1,19 @@
 // Tests for the thread pool and barriers: correctness of synchronization,
 // task distribution, reuse across many dispatches (the "thread pooling"
-// behaviour the generated code relies on).
+// behaviour the generated code relies on) — and the PoolRegistry that
+// shares warm teams across plans, contexts and client threads.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
 #include <vector>
 
+#include "backend/exec_context.hpp"
+#include "core/spiral_fft.hpp"
 #include "threading/barrier.hpp"
+#include "threading/pool_registry.hpp"
 #include "threading/thread_pool.hpp"
+#include "util/rng.hpp"
 
 namespace spiral::threading {
 namespace {
@@ -160,6 +165,108 @@ TEST(ThreadPool, DestructionWithNoWorkIsClean) {
     ThreadPool pool(3);
   }
   SUCCEED();
+}
+
+TEST(PoolRegistry, ReacquiringSameSizeSpawnsNoThreads) {
+  auto& reg = global_pool_registry();
+  reg.trim();
+  reg.reset_stats();
+  {
+    PoolLease a = reg.acquire(3);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a.pool()->size(), 3);
+  }  // returned to the idle list
+  EXPECT_EQ(reg.idle_count(), 1u);
+  const auto before = ThreadPool::threads_spawned();
+  PoolLease b = reg.acquire(3);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(ThreadPool::threads_spawned(), before)
+      << "reuse of a returned pool must not spawn threads";
+  const auto st = reg.stats();
+  EXPECT_EQ(st.acquires, 2u);
+  EXPECT_EQ(st.created, 1u);
+  EXPECT_EQ(st.reuses, 1u);
+}
+
+TEST(PoolRegistry, ExactSizeKeying) {
+  auto& reg = global_pool_registry();
+  reg.trim();
+  { PoolLease a = reg.acquire(2); }
+  // A different participant count cannot reuse the idle team: barrier
+  // participant counts are baked in at construction.
+  const auto before = ThreadPool::threads_spawned();
+  PoolLease b = reg.acquire(4);
+  EXPECT_EQ(b.pool()->size(), 4);
+  EXPECT_GT(ThreadPool::threads_spawned(), before);
+}
+
+TEST(PoolRegistry, ConcurrentLeasesAreDistinctPools) {
+  auto& reg = global_pool_registry();
+  reg.trim();
+  PoolLease a = reg.acquire(2);
+  PoolLease b = reg.acquire(2);  // a is still held: must not be shared
+  EXPECT_NE(a.pool(), b.pool());
+  std::atomic<int> hits{0};
+  a.pool()->run([&](int) { hits.fetch_add(1); });
+  b.pool()->run([&](int) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+// --- Shared-pool semantics through the plan/context layer (the refactor
+// that made ExecContext lease rather than own its team). ---
+
+namespace {
+
+core::PlannerOptions parallel_opts(int threads) {
+  core::PlannerOptions opt;
+  opt.threads = threads;
+  return opt;
+}
+
+util::cvec run_plan(const core::FftPlan& plan, backend::ExecContext& ctx,
+                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  const util::cvec x = rng.complex_signal(plan.size());
+  util::cvec y(x.size());
+  plan.execute(ctx, x.data(), y.data());
+  return y;
+}
+
+}  // namespace
+
+TEST(PoolSharing, SecondPlanOnSameContextSpawnsZeroThreads) {
+  global_pool_registry().trim();
+  backend::ExecContext ctx;
+  const auto p1 = core::plan_dft(256, parallel_opts(2));
+  run_plan(*p1, ctx, 0xaa);  // first parallel execute: lease acquired
+  const auto before = ThreadPool::threads_spawned();
+  const auto p2 = core::plan_dft(512, parallel_opts(2));
+  run_plan(*p2, ctx, 0xbb);
+  EXPECT_EQ(ThreadPool::threads_spawned(), before)
+      << "a second plan on the same context must borrow the leased team";
+}
+
+TEST(PoolSharing, PlanDestructionLeavesBorrowedPoolUsable) {
+  global_pool_registry().trim();
+  backend::ExecContext ctx;
+  {
+    const auto p1 = core::plan_dft(256, parallel_opts(2));
+    run_plan(*p1, ctx, 0xcc);
+  }  // plan gone; the team is the context's lease, not the plan's
+  const auto before = ThreadPool::threads_spawned();
+  const auto p2 = core::plan_dft(256, parallel_opts(2));
+  const util::cvec y = run_plan(*p2, ctx, 0xdd);
+  EXPECT_EQ(ThreadPool::threads_spawned(), before);
+  EXPECT_EQ(y.size(), 256u);
+
+  // Returning the lease and bringing a FRESH context must also pick the
+  // warm team back up without spawning: the registry, not any context,
+  // owns pool lifetime.
+  ctx.reset();
+  backend::ExecContext ctx2;
+  run_plan(*p2, ctx2, 0xee);
+  EXPECT_EQ(ThreadPool::threads_spawned(), before)
+      << "a fresh context must reuse the returned warm team";
 }
 
 }  // namespace

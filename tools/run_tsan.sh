@@ -21,12 +21,12 @@ cmake -B "$BUILD_DIR" -S . \
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
   test_threading test_backend_program test_plan_cache test_wisdom \
-  test_concurrency
+  test_concurrency test_service
 
 # halt_on_error: fail the job on the first report instead of soldiering on.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure ${CTEST_ARGS:-} -R \
-  '^(test_threading|test_backend_program|test_plan_cache|test_wisdom|test_concurrency)$'
+  '^(test_threading|test_backend_program|test_plan_cache|test_wisdom|test_concurrency|test_service)$'
 
 echo "TSan run clean."
